@@ -1,0 +1,24 @@
+# Developer conveniences for the repro package.
+
+.PHONY: install test bench figures quicktest clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+quicktest:
+	pytest tests/ -x -q --ignore=tests/test_end_to_end.py
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+figures:
+	python -m repro figure table1
+	python -m repro figure table2
+	python -m repro figure fig8
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

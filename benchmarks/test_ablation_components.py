@@ -1,0 +1,42 @@
+"""Ablation: the SIMT-aware scheduler's two ideas in isolation.
+
+DESIGN.md §6: key idea 1 (shortest-job-first on instruction scores) and
+key idea 2 (batching to the last-dispatched instruction) are implemented
+as standalone policies.  The combined scheduler should not be weaker
+than FCFS, and each component contributes on the workloads its idea
+targets: SJF needs job-length variance (MVT's bimodal sweep), batching
+needs interleaving.
+"""
+
+from repro.experiments.runner import compare_schedulers
+from repro.stats.metrics import geometric_mean
+
+from benchmarks.conftest import BENCH, run_once
+
+WORKLOADS = ("MVT", "ATX")
+POLICIES = ("fcfs", "batch", "sjf", "simt")
+
+
+def run_ablation():
+    speedups = {policy: [] for policy in POLICIES if policy != "fcfs"}
+    for workload in WORKLOADS:
+        results = compare_schedulers(workload, schedulers=POLICIES, **BENCH)
+        for policy in speedups:
+            speedups[policy].append(
+                results[policy].speedup_over(results["fcfs"])
+            )
+    return {policy: geometric_mean(values) for policy, values in speedups.items()}
+
+
+def test_ablation_scheduler_components(benchmark):
+    means = run_once(benchmark, run_ablation)
+    print()
+    print("Ablation: geomean speedup over FCFS (MVT+ATX)")
+    for policy, value in means.items():
+        print(f"  {policy:<6} {value:6.3f}")
+    # The combined scheduler must beat FCFS decisively...
+    assert means["simt"] > 1.10
+    # ...and at least match the better of its two halves (within noise).
+    assert means["simt"] >= max(means["batch"], means["sjf"]) - 0.08
+    # Batching alone must never hurt: it only reorders within arrivals.
+    assert means["batch"] > 0.95

@@ -1,0 +1,52 @@
+"""Ablation: interaction with memory-controller scheduling (paper §VI).
+
+The paper argues the page-walk scheduler "is unlikely to have
+significant interactions with the memory schedulers".  Running the same
+workload over three DRAM front ends — the lightweight reservation
+model, a queued FCFS controller, and a queued FR-FCFS controller — we
+find the claim *mostly* holds: the SIMT-aware win survives every
+policy.  But FR-FCFS is not fully orthogonal in our model: by batching
+row hits it accelerates the FCFS walk baseline itself (page-table reads
+of TLB-missing neighbours share table pages), absorbing part — not all —
+of the scheduling headroom.  EXPERIMENTS.md records the numbers.
+"""
+
+from dataclasses import replace
+
+from repro.config import baseline_config
+from repro.experiments.runner import compare_schedulers
+
+from benchmarks.conftest import BENCH, run_once
+
+POLICIES = ("reservation", "fcfs", "frfcfs")
+
+
+def run_study(workload="MVT"):
+    out = {}
+    for policy in POLICIES:
+        config = baseline_config()
+        config = replace(config, dram=replace(config.dram, controller=policy))
+        results = compare_schedulers(
+            workload, schedulers=("fcfs", "simt"), config=config, **BENCH
+        )
+        out[policy] = {
+            "fcfs_cycles": results["fcfs"].total_cycles,
+            "speedup": results["simt"].speedup_over(results["fcfs"]),
+        }
+    return out
+
+
+def test_ablation_dram_scheduling_policy(benchmark):
+    data = run_once(benchmark, run_study)
+    print()
+    print("Ablation: DRAM controller policy under MVT")
+    for policy, row in data.items():
+        print(
+            f"  {policy:<12} fcfs={row['fcfs_cycles']:>10,} "
+            f"simt/fcfs={row['speedup']:.3f}"
+        )
+    speedups = [row["speedup"] for row in data.values()]
+    # The walk-scheduling win survives every memory-controller policy —
+    # the substance of the paper's no-interaction claim — even though
+    # FR-FCFS absorbs part of the headroom by speeding up FCFS itself.
+    assert min(speedups) > 1.10

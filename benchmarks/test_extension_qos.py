@@ -1,0 +1,37 @@
+"""Extension: multi-application page-walk scheduling for QoS.
+
+The paper's conclusion invites follow-on work exploring walk scheduling
+"for both performance and QoS" (citing ATLAS/STFM/PAR-BS).  This bench
+co-runs two irregular applications on one GPU and compares three walk
+schedulers on the standard multi-programme metrics:
+
+* FCFS — the baseline, obliviously unfair;
+* SIMT-aware — the paper's policy, best raw throughput;
+* fair-share — our least-attained-service extension: best fairness.
+"""
+
+from repro.experiments.multitenancy import qos_comparison
+
+from benchmarks.conftest import run_once
+
+CO_RUN = ("MVT", "GEV")
+
+
+def run_study():
+    return qos_comparison(CO_RUN, wavefronts_per_app=32, scale=0.5)
+
+
+def test_extension_multiapp_qos(benchmark):
+    results = run_once(benchmark, run_study)
+    print()
+    print(f"Multi-app QoS study: {' + '.join(CO_RUN)} sharing the GPU")
+    for result in results.values():
+        print(" ", result.summary())
+    fcfs, simt, fair = results["fcfs"], results["simt"], results["fairshare"]
+    # The paper's scheduler helps even in a multi-tenant setting.
+    assert simt.total_cycles < fcfs.total_cycles
+    # The fairness extension improves the min/max slowdown ratio over
+    # the oblivious baseline...
+    assert fair.fairness > fcfs.fairness
+    # ...and is at least as fair as plain SIMT-aware.
+    assert fair.fairness >= simt.fairness - 0.02

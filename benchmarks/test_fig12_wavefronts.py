@@ -1,0 +1,26 @@
+"""Fig 12: distinct wavefronts touching the GPU L2 TLB per epoch.
+
+Paper: the SIMT-aware scheduler reduces the number of distinct
+wavefronts accessing the shared L2 TLB within a 1024-access epoch by
+42% on average — the mechanism behind Fig 11's walk reduction (less
+inter-wavefront contention in the TLB).
+"""
+
+from repro.experiments import figures, report
+
+from benchmarks.conftest import BENCH, run_once
+
+
+def test_fig12_active_wavefronts(benchmark):
+    data = run_once(benchmark, figures.fig12_active_wavefronts, **BENCH)
+    print()
+    print(
+        report.render_series(
+            "Fig 12: distinct wavefronts per L2-TLB epoch, SIMT over FCFS",
+            data,
+            value_label="ratio",
+        )
+    )
+    assert data["Mean"] < 1.0
+    # The strongest concentration effect should be pronounced.
+    assert min(v for k, v in data.items() if k != "Mean") < 0.9

@@ -1,0 +1,39 @@
+"""Fig 14: sensitivity to the IOMMU buffer size (scheduler lookahead).
+
+Paper: with a 128-entry buffer the speedup drops to 13%; with a
+512-entry buffer it jumps to 50%.  The buffer bounds how far the
+scheduler can look ahead, so the win must grow monotonically with it.
+"""
+
+import pytest
+
+from repro.experiments import figures, report
+
+from benchmarks.conftest import BENCH, run_once
+
+_means = {}
+
+
+@pytest.mark.parametrize("buffer_entries", [128, 512])
+def test_fig14_buffer_size(benchmark, buffer_entries):
+    data = run_once(benchmark, figures.fig14_buffer_size, buffer_entries, **BENCH)
+    _means[buffer_entries] = data["Mean"]
+    print()
+    print(
+        report.render_series(
+            f"Fig 14: SIMT-aware speedup over FCFS ({buffer_entries}-entry buffer)",
+            data,
+            value_label="speedup",
+        )
+    )
+    assert data["Mean"] > 1.0
+
+
+def test_fig14_lookahead_scales_the_win(benchmark):
+    if len(_means) < 2:
+        pytest.skip("buffer benchmarks did not all run")
+    baseline = run_once(
+        benchmark, lambda: figures.fig8_speedup(**BENCH)["Mean(irregular)"]
+    )
+    # Paper ordering: 128-entry < 256-entry (baseline) < 512-entry.
+    assert _means[128] < baseline < _means[512]

@@ -1,0 +1,30 @@
+"""Fig 2: performance impact of page-walk scheduling policy.
+
+Paper: Random / FCFS / SIMT-aware on MVT, ATX, BIC, GEV, normalised to
+Random.  Performance differs by more than 2.1× across schedules; FCFS
+sits between Random and SIMT-aware.
+"""
+
+from repro.experiments import figures, report
+from repro.stats.metrics import geometric_mean
+
+from benchmarks.conftest import BENCH, run_once
+
+
+def test_fig2_scheduler_impact(benchmark):
+    data = run_once(benchmark, figures.fig2_scheduler_impact, **BENCH)
+    print()
+    print(
+        report.render_grouped(
+            "Fig 2: speedup over the random scheduler",
+            data,
+            columns=("random", "fcfs", "simt"),
+        )
+    )
+    simt = [row["simt"] for row in data.values()]
+    fcfs = [row["fcfs"] for row in data.values()]
+    # SIMT-aware must dominate both baselines on these four workloads.
+    assert geometric_mean(simt) > geometric_mean(fcfs) > 1.0
+    # The paper reports >2.1× spread between best and worst schedule;
+    # our lower-fidelity substrate must still show a wide spread.
+    assert max(simt) > 1.5

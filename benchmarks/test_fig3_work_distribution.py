@@ -1,0 +1,30 @@
+"""Fig 3: distribution of per-instruction page-walk memory accesses.
+
+Paper: 27-61% of walk-generating instructions need 1-16 accesses while
+33-70% need 49+, i.e. the distribution is strongly bimodal — the
+variance that makes shortest-job-first scheduling worthwhile.
+"""
+
+from repro.experiments import figures, report
+
+from benchmarks.conftest import BENCH, run_once
+
+LIGHT = "1-16"
+HEAVY = ("49-64", "65-80", "81-256")
+
+
+def test_fig3_work_distribution(benchmark):
+    data = run_once(benchmark, figures.fig3_walk_work_distribution, **BENCH)
+    print()
+    print(
+        report.render_grouped(
+            "Fig 3: fraction of SIMD instructions per page-walk work bucket",
+            data,
+        )
+    )
+    for workload, row in data.items():
+        light = row[LIGHT]
+        heavy = sum(row[bucket] for bucket in HEAVY)
+        # Bimodal: both a light population and a heavy population exist.
+        assert light > 0.05, f"{workload} lacks light instructions"
+        assert heavy > 0.20, f"{workload} lacks heavy instructions"

@@ -1,0 +1,29 @@
+"""Fig 8: speedup of the SIMT-aware scheduler over FCFS (all 12 apps).
+
+Paper: +30% geometric-mean speedup on the six irregular applications
+(up to +41%), with the six regular applications essentially unchanged.
+"""
+
+from repro.experiments import figures, report
+from repro.workloads.registry import IRREGULAR_WORKLOADS, REGULAR_WORKLOADS
+
+from benchmarks.conftest import BENCH, run_once
+
+
+def test_fig8_speedup(benchmark):
+    data = run_once(benchmark, figures.fig8_speedup, **BENCH)
+    print()
+    print(
+        report.render_series(
+            "Fig 8: speedup of SIMT-aware over FCFS", data, value_label="speedup"
+        )
+    )
+    # Headline: large irregular win, regular untouched.
+    assert data["Mean(irregular)"] > 1.15
+    assert 0.95 <= data["Mean(regular)"] <= 1.05
+    # Every irregular workload individually benefits.
+    for workload in IRREGULAR_WORKLOADS:
+        assert data[workload] > 1.0, workload
+    # No regular workload is materially hurt.
+    for workload in REGULAR_WORKLOADS:
+        assert data[workload] > 0.95, workload

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Bring your own workload: model a sparse-matrix SpMV kernel.
+
+Shows the extension point a downstream user cares about most: writing a
+new :class:`repro.workloads.base.Workload` subclass.  The example models
+CSR sparse matrix-vector multiplication (y = A·x), whose irregularity
+comes from the *column-index gather* ``x[col_idx[k]]`` — lanes read the
+dense vector at data-dependent positions.
+
+Run it to see how the custom kernel behaves under FCFS vs the
+SIMT-aware walk scheduler, exactly like the built-in Table II models.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+import random
+
+from repro import compare_schedulers
+from repro.workloads.base import Trace, WavefrontTrace, Workload
+from repro.workloads.synthetic import coalesced
+
+DOUBLE = 8
+INT = 4
+
+
+class SpMV(Workload):
+    """CSR SpMV: streaming row data plus divergent vector gathers."""
+
+    abbrev = "SPMV"
+    name = "SpMV"
+    description = "CSR sparse matrix-vector multiply (custom example)"
+    nominal_footprint_mb = 96.0
+    irregular = True
+    suite = "example"
+
+    rows_per_step = 64
+    steps_per_wavefront = 24
+    #: Distinct x-vector pages one gather instruction touches: the
+    #: matrix's columns are spread, so lanes land on unrelated pages.
+    gather_pages = 32
+
+    def _layout(self) -> None:
+        self.values = self.address_space.allocate("values", 64 * 1024 * 1024)
+        self.col_idx = self.address_space.allocate("col_idx", 24 * 1024 * 1024)
+        self.x = self.address_space.allocate("x", 8 * 1024 * 1024)
+
+    def build_trace(
+        self, num_wavefronts: int = 32, wavefront_size: int = 64
+    ) -> Trace:
+        steps = self.scaled(self.steps_per_wavefront)
+        x_pages = self.x.pages
+        trace: Trace = []
+        for wavefront_index in range(num_wavefronts):
+            rng = random.Random(f"spmv:{self.seed}:{wavefront_index}")
+            stream: WavefrontTrace = []
+            # Nonzeros are bounded by the smaller of the two CSR arrays.
+            nnz = min(self.values.size // DOUBLE, self.col_idx.size // INT)
+            nnz_cursor = (
+                wavefront_index * nnz // max(1, num_wavefronts)
+            ) % (nnz - wavefront_size * (steps + 1))
+            for step in range(steps):
+                base = nnz_cursor + step * wavefront_size
+                # 1+2: stream the nonzeros and their column indices —
+                # unit-stride, coalesced, TLB-friendly.
+                stream.append(coalesced(self.values, base, wavefront_size, DOUBLE))
+                stream.append(coalesced(self.col_idx, base, wavefront_size, INT))
+                # 3: gather x[col_idx[k]] — data-dependent, divergent.
+                pages = [
+                    rng.randrange(x_pages) for _ in range(self.gather_pages)
+                ]
+                stream.append(
+                    [
+                        self.x.base
+                        + pages[lane % self.gather_pages] * 4096
+                        + (lane * 64) % 4096
+                        for lane in range(wavefront_size)
+                    ]
+                )
+            trace.append(stream)
+        return trace
+
+
+def main() -> None:
+    workload = SpMV()
+    print(
+        f"Custom workload {workload.name}: "
+        f"{workload.modelled_footprint_mb:.1f} MB modelled footprint"
+    )
+    results = compare_schedulers(
+        workload, schedulers=("fcfs", "simt"), num_wavefronts=64, scale=0.5
+    )
+    fcfs, simt = results["fcfs"], results["simt"]
+    print(fcfs.summary())
+    print(simt.summary())
+    print(f"\nSIMT-aware speedup over FCFS: {simt.speedup_over(fcfs):.3f}x")
+
+
+if __name__ == "__main__":
+    main()

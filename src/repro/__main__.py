@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run WORKLOAD``
+    Simulate one workload under one scheduler and print its metrics.
+
+``compare WORKLOAD``
+    Run several schedulers on one workload and print speedups.
+
+``figure NAME``
+    Regenerate one of the paper's figures/tables (fig2, fig3, fig5,
+    fig6, fig8, fig9, fig10, fig11, fig12, fig13a/b/c, fig14a/b,
+    table1, table2) and print it in the paper's shape.
+
+``list``
+    List available workloads and schedulers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import available_schedulers, compare_schedulers, run_simulation
+from repro.experiments import figures, report
+from repro.workloads.registry import workload_names
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads: ", ", ".join(workload_names()))
+    print("schedulers:", ", ".join(available_schedulers()))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_simulation(
+        args.workload.upper(),
+        config=_load_config(args),
+        scheduler=args.scheduler,
+        num_wavefronts=args.wavefronts,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    print(result.summary())
+    print(f"wavefronts/epoch: {result.wavefronts_per_epoch:.2f}")
+    print(f"first/last walk latency: {result.first_walk_latency:.0f} / "
+          f"{result.last_walk_latency:.0f} cycles")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    schedulers = tuple(args.schedulers.split(","))
+    results = compare_schedulers(
+        args.workload.upper(),
+        config=_load_config(args),
+        schedulers=schedulers,
+        num_wavefronts=args.wavefronts,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    baseline = results[schedulers[0]]
+    for name, result in results.items():
+        print(f"{result.summary()}  speedup={result.speedup_over(baseline):.3f}")
+    return 0
+
+
+_FIGURES = {
+    "fig2": lambda a: report.render_grouped(
+        "Fig 2: speedup over random",
+        figures.fig2_scheduler_impact(a.scale, a.wavefronts),
+    ),
+    "fig3": lambda a: report.render_grouped(
+        "Fig 3: walk-work distribution",
+        figures.fig3_walk_work_distribution(a.scale, a.wavefronts),
+    ),
+    "fig5": lambda a: report.render_series(
+        "Fig 5: interleaved fraction (FCFS)",
+        figures.fig5_interleaving(a.scale, a.wavefronts),
+    ),
+    "fig6": lambda a: report.render_grouped(
+        "Fig 6: first/last walk latency",
+        figures.fig6_first_last_latency(a.scale, a.wavefronts),
+    ),
+    "fig8": lambda a: report.render_series(
+        "Fig 8: SIMT-aware speedup over FCFS",
+        figures.fig8_speedup(a.scale, a.wavefronts),
+    ),
+    "fig9": lambda a: report.render_series(
+        "Fig 9: normalised CU stall cycles",
+        figures.fig9_stall_cycles(a.scale, a.wavefronts),
+    ),
+    "fig10": lambda a: report.render_series(
+        "Fig 10: normalised latency gap",
+        figures.fig10_latency_gap(a.scale, a.wavefronts),
+    ),
+    "fig11": lambda a: report.render_series(
+        "Fig 11: normalised page-walk count",
+        figures.fig11_walk_count(a.scale, a.wavefronts),
+    ),
+    "fig12": lambda a: report.render_series(
+        "Fig 12: normalised wavefronts per L2-TLB epoch",
+        figures.fig12_active_wavefronts(a.scale, a.wavefronts),
+    ),
+    "fig13a": lambda a: report.render_series(
+        "Fig 13a (1024 TLB, 8 walkers)",
+        figures.fig13_sensitivity("a_1024tlb_8walkers", a.scale, a.wavefronts),
+    ),
+    "fig13b": lambda a: report.render_series(
+        "Fig 13b (512 TLB, 16 walkers)",
+        figures.fig13_sensitivity("b_512tlb_16walkers", a.scale, a.wavefronts),
+    ),
+    "fig13c": lambda a: report.render_series(
+        "Fig 13c (1024 TLB, 16 walkers)",
+        figures.fig13_sensitivity("c_1024tlb_16walkers", a.scale, a.wavefronts),
+    ),
+    "fig14a": lambda a: report.render_series(
+        "Fig 14a (128-entry buffer)",
+        figures.fig14_buffer_size(128, a.scale, a.wavefronts),
+    ),
+    "fig14b": lambda a: report.render_series(
+        "Fig 14b (512-entry buffer)",
+        figures.fig14_buffer_size(512, a.scale, a.wavefronts),
+    ),
+    "overhead": lambda a: report.render_series(
+        "Translation overhead (FCFS vs oracle MMU)",
+        figures.translation_overhead(a.scale, a.wavefronts),
+    ),
+    "table1": lambda a: report.render_table1(figures.table1_configuration()),
+    "table2": lambda a: report.render_table2(figures.table2_workloads()),
+}
+
+
+def _cmd_qos(args: argparse.Namespace) -> int:
+    from repro.experiments.multitenancy import qos_comparison
+
+    results = qos_comparison(
+        (args.workload_a.upper(), args.workload_b.upper()),
+        schedulers=tuple(args.schedulers.split(",")),
+        wavefronts_per_app=args.wavefronts_per_app,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    for result in results.values():
+        print(result.summary())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    try:
+        renderer = _FIGURES[args.name]
+    except KeyError:
+        print(
+            f"unknown figure {args.name!r}; one of: {', '.join(sorted(_FIGURES))}",
+            file=sys.stderr,
+        )
+        return 2
+    print(renderer(args))
+    return 0
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--wavefronts", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--config",
+        default=None,
+        help="JSON machine description (possibly partial); see repro.config_io",
+    )
+
+
+def _load_config(args: argparse.Namespace):
+    if getattr(args, "config", None) is None:
+        return None
+    from repro.config_io import load_config
+
+    return load_config(args.config)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'Scheduling Page Table Walks for "
+        "Irregular GPU Applications' (ISCA 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and schedulers").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="simulate one workload")
+    run.add_argument("workload")
+    run.add_argument(
+        "--scheduler",
+        default=None,
+        choices=available_schedulers(),
+        help="walk scheduler (default: the config's policy, fcfs)",
+    )
+    _add_run_args(run)
+    run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser("compare", help="compare schedulers on a workload")
+    compare.add_argument("workload")
+    compare.add_argument(
+        "--schedulers", default="fcfs,simt", help="comma-separated policy names"
+    )
+    _add_run_args(compare)
+    compare.set_defaults(func=_cmd_compare)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure/table")
+    figure.add_argument("name", help="e.g. fig8, fig13a, table2")
+    _add_run_args(figure)
+    figure.set_defaults(func=_cmd_figure)
+
+    qos = sub.add_parser(
+        "qos", help="co-run two workloads and compare QoS across schedulers"
+    )
+    qos.add_argument("workload_a")
+    qos.add_argument("workload_b")
+    qos.add_argument(
+        "--schedulers", default="fcfs,simt,fairshare",
+        help="comma-separated policy names",
+    )
+    qos.add_argument("--wavefronts-per-app", type=int, default=24)
+    qos.add_argument("--scale", type=float, default=0.3)
+    qos.add_argument("--seed", type=int, default=0)
+    qos.set_defaults(func=_cmd_qos)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

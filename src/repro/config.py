@@ -1,0 +1,300 @@
+"""System configuration for the GPU address-translation simulator.
+
+Every structure the paper parameterises (Table I of the paper) has a
+dataclass here.  The defaults reproduce the paper's baseline system:
+
+======================  =====================================================
+GPU                     2 GHz, 8 CUs, 4 SIMD units per CU, 16-wide SIMD,
+                        64 workitems per wavefront
+L1 data cache           32 KB, 16-way, 64 B lines (per CU)
+L2 data cache           4 MB, 16-way, 64 B lines (shared)
+GPU L1 TLB              32 entries, fully associative (per CU)
+GPU L2 TLB              512 entries, 16-way set associative (shared)
+IOMMU                   256 buffer entries, 8 page table walkers,
+                        32/256-entry L1/L2 TLBs, FCFS walk scheduling
+DRAM                    DDR3-1600 (800 MHz bus), 2 channels, 2 ranks per
+                        channel, 16 banks per rank
+======================  =====================================================
+
+All latencies are expressed in GPU cycles (2 GHz unless configured
+otherwise).  Configurations are plain frozen-ish dataclasses: construct a
+new one (or use :func:`dataclasses.replace`) rather than mutating in place
+mid-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+#: Size of a small (base) page in bytes.  The paper uses x86-64 4 KB pages.
+PAGE_SIZE = 4096
+
+#: Number of bits used to index one level of the 4-level radix page table.
+BITS_PER_LEVEL = 9
+
+#: Number of levels in an x86-64-style page table.
+PAGE_TABLE_LEVELS = 4
+
+#: Cache line size in bytes.
+LINE_SIZE = 64
+
+#: Width of the instruction ID tag attached to walk requests (paper: 20 bits).
+INSTRUCTION_ID_BITS = 20
+
+
+@dataclass
+class GPUConfig:
+    """Compute-side organisation of the GPU (paper Table I, "GPU" row)."""
+
+    clock_ghz: float = 2.0
+    num_cus: int = 8
+    simd_units_per_cu: int = 4
+    simd_width: int = 16
+    wavefront_size: int = 64
+    #: Number of wavefronts that can be resident on a CU at once.  Each
+    #: resident wavefront is an independent stream of SIMD instructions.
+    wavefront_slots_per_cu: int = 4
+    #: Cycles between consecutive instruction issues from one wavefront
+    #: (models the compute/decode gap between memory instructions).
+    issue_gap_cycles: int = 20
+    #: Memory instructions a wavefront may have in flight at once.  The
+    #: paper's execution model (its Fig 4: ``load A`` immediately followed
+    #: by ``use A``) stalls a wavefront on each memory instruction, i.e. a
+    #: window of 1.  Deeper windows overlap per-instruction walk bursts —
+    #: raising interleaving — but also break the paper's premise that an
+    #: instruction's last walk gates wavefront progress, which makes
+    #: per-instruction SJF scoring counterproductive (see the
+    #: window-depth ablation bench).
+    max_outstanding_memops: int = 1
+    #: Unique-page translation requests the per-CU coalescer/L1-TLB port
+    #: can emit per cycle.  A divergent instruction's requests trickle
+    #: out over ``num_pages / coalescer_pages_per_cycle`` cycles.
+    coalescer_pages_per_cycle: int = 1
+    #: Lookups the shared GPU L2 TLB can serve per cycle (its port is
+    #: where concurrent wavefronts' request streams multiplex).
+    l2_tlb_lookups_per_cycle: int = 1
+    #: Cycles between consecutive wavefront launches when filling the
+    #: initial CU slots.  The hardware workgroup dispatcher trickles work
+    #: onto the GPU; launching everything at cycle 0 would create an
+    #: artificial synchronized burst of cold-TLB misses.
+    dispatch_stagger_cycles: int = 50
+
+    @property
+    def total_wavefront_slots(self) -> int:
+        return self.num_cus * self.wavefront_slots_per_cu
+
+
+@dataclass
+class CacheConfig:
+    """A set-associative cache (GPU L1/L2 data caches)."""
+
+    size_bytes: int
+    associativity: int
+    line_size: int = LINE_SIZE
+    hit_latency: int = 0
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return max(1, self.num_lines // self.associativity)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("cache size must be positive")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if self.size_bytes % self.line_size != 0:
+            raise ValueError("cache size must be a multiple of the line size")
+
+
+@dataclass
+class TLBConfig:
+    """A TLB level.
+
+    ``associativity=None`` means fully associative (a single set).
+    """
+
+    entries: int
+    associativity: Optional[int] = None
+    hit_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+        if self.associativity is not None:
+            if self.associativity <= 0:
+                raise ValueError("associativity must be positive")
+            if self.entries % self.associativity != 0:
+                raise ValueError("entries must divide evenly into sets")
+
+    @property
+    def num_sets(self) -> int:
+        if self.associativity is None:
+            return 1
+        return self.entries // self.associativity
+
+
+@dataclass
+class PWCConfig:
+    """Page walk caches: one small cache per upper page-table level.
+
+    The IOMMU caches translations for the top three levels of the
+    four-level page table (paper §II-B).  ``entries_per_level`` is the
+    capacity of each per-level cache.
+    """
+
+    entries_per_level: int = 16
+    associativity: int = 4
+    #: Enable the paper's 2-bit saturating counters that steer replacement
+    #: away from entries pending requests were scored against (§IV).
+    counter_guard: bool = True
+    counter_bits: int = 2
+
+    def __post_init__(self) -> None:
+        if self.entries_per_level % self.associativity != 0:
+            raise ValueError("PWC entries must divide evenly into sets")
+
+
+@dataclass
+class IOMMUConfig:
+    """The IOMMU: TLBs, pending-walk buffer and the walker pool."""
+
+    buffer_entries: int = 256
+    num_walkers: int = 8
+    l1_tlb: TLBConfig = field(default_factory=lambda: TLBConfig(entries=32))
+    l2_tlb: TLBConfig = field(
+        default_factory=lambda: TLBConfig(entries=256, associativity=8)
+    )
+    pwc: PWCConfig = field(default_factory=PWCConfig)
+    #: Scheduling policy for pending page walks.  One of the names
+    #: registered in :mod:`repro.core.schedulers` ("fcfs", "random",
+    #: "sjf", "batch", "simt").
+    scheduler: str = "fcfs"
+    #: Aging threshold: a pending request bypassed by more than this many
+    #: younger requests is prioritised unconditionally.  The paper uses
+    #: two million on full-length gem5 runs; our traces are roughly three
+    #: orders of magnitude shorter, so the default scales accordingly
+    #: (the ratio of threshold to total walk count is comparable).
+    aging_threshold: int = 2_000
+    #: Seed for the random scheduler.
+    scheduler_seed: int = 0
+    #: Same-page walk merging across instructions (an MSHR-style feature
+    #: the paper does not describe).  One of:
+    #:
+    #: * ``"off"``      — every buffered request walks independently;
+    #: * ``"inflight"`` — a request whose page is already being walked
+    #:   joins that walk (pure dedup; scheduler-neutral);
+    #: * ``"full"``     — additionally merge with *pending* buffered
+    #:   walks.  This disproportionately benefits slow schedulers: the
+    #:   longer a walk sits pending, the more sharers it captures — see
+    #:   the coalescing ablation bench.
+    coalesce_walks: str = "inflight"
+    #: Extension (paper related work: inter-core cooperative TLB
+    #: prefetchers): after a demand walk for page *p* completes, walk
+    #: page *p+1* opportunistically — only on an otherwise-idle walker,
+    #: never displacing demand traffic — and fill the IOMMU L2 TLB.
+    prefetch_next_page: bool = False
+    #: Cycles the scheduler spends scanning the pending-walk buffer per
+    #: selection (paper §IV "Design Subtleties": every buffered request
+    #: has already missed the whole TLB hierarchy, so a few scan cycles
+    #: add little delay — the scan-latency ablation bench verifies it).
+    scan_latency_cycles: int = 0
+    #: Fixed latency (cycles) for a translation that hits in an IOMMU TLB.
+    tlb_hit_latency: int = 20
+    #: Latency for a GPU-TLB-miss request to travel to the IOMMU.
+    request_latency: int = 100
+    #: Latency for a completed translation to travel back to the GPU.
+    response_latency: int = 100
+
+
+@dataclass
+class DRAMConfig:
+    """A simplified DDR3-1600-style DRAM timing model.
+
+    Latencies are in GPU cycles.  The defaults approximate DDR3-1600 at a
+    2 GHz GPU clock: ~15 ns CAS / RCD / RP ≈ 30 GPU cycles each.
+    """
+
+    channels: int = 2
+    ranks_per_channel: int = 2
+    banks_per_rank: int = 16
+    row_size_bytes: int = 2048
+    #: Column access latency (row-buffer hit).
+    t_cas: int = 30
+    #: Activate latency (row-buffer miss adds t_rp + t_rcd).
+    t_rcd: int = 30
+    #: Precharge latency.
+    t_rp: int = 30
+    #: Data-transfer occupancy of a bank per access.
+    t_burst: int = 8
+    #: Front-end model: "reservation" (lightweight, per-bank FIFO) or a
+    #: queued controller with request scheduling ("fcfs" / "frfcfs" —
+    #: see :mod:`repro.memory.controller`).
+    controller: str = "reservation"
+
+    @property
+    def total_banks(self) -> int:
+        return self.channels * self.ranks_per_channel * self.banks_per_rank
+
+
+@dataclass
+class SystemConfig:
+    """Top-level configuration: the whole simulated machine (Table I)."""
+
+    #: Translation granularity: "4K" base pages (the paper's baseline) or
+    #: "2M" large pages (its §VI discussion).
+    page_size: str = "4K"
+    #: Oracle mode: translations resolve instantly and never miss —
+    #: isolates address-translation overhead (the paper's motivating
+    #: up-to-4x slowdowns are measured against exactly this ideal).
+    perfect_translation: bool = False
+    gpu: GPUConfig = field(default_factory=GPUConfig)
+    l1_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=32 * 1024, associativity=16, hit_latency=4
+        )
+    )
+    l2_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=4 * 1024 * 1024, associativity=16, hit_latency=30
+        )
+    )
+    gpu_l1_tlb: TLBConfig = field(default_factory=lambda: TLBConfig(entries=32))
+    gpu_l2_tlb: TLBConfig = field(
+        default_factory=lambda: TLBConfig(entries=512, associativity=16, hit_latency=10)
+    )
+    iommu: IOMMUConfig = field(default_factory=IOMMUConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+
+    def with_scheduler(self, name: str, seed: int = 0) -> "SystemConfig":
+        """Return a copy of this configuration using walk scheduler ``name``."""
+        return replace(
+            self, iommu=replace(self.iommu, scheduler=name, scheduler_seed=seed)
+        )
+
+    def with_l2_tlb_entries(self, entries: int) -> "SystemConfig":
+        """Return a copy with a resized GPU shared L2 TLB (Fig 13 sweeps)."""
+        return replace(self, gpu_l2_tlb=replace(self.gpu_l2_tlb, entries=entries))
+
+    def with_walkers(self, num_walkers: int) -> "SystemConfig":
+        """Return a copy with a different page-table walker count (Fig 13)."""
+        return replace(self, iommu=replace(self.iommu, num_walkers=num_walkers))
+
+    def with_iommu_buffer(self, entries: int) -> "SystemConfig":
+        """Return a copy with a different IOMMU buffer size (Fig 14)."""
+        return replace(self, iommu=replace(self.iommu, buffer_entries=entries))
+
+    def with_page_size(self, page_size: str) -> "SystemConfig":
+        """Return a copy mapping memory with "4K" or "2M" pages (§VI)."""
+        if page_size.upper() not in ("4K", "2M"):
+            raise ValueError(f"unsupported page size {page_size!r}")
+        return replace(self, page_size=page_size.upper())
+
+
+def baseline_config(scheduler: str = "fcfs") -> SystemConfig:
+    """The paper's Table I baseline system with the given walk scheduler."""
+    return SystemConfig().with_scheduler(scheduler)

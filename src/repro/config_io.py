@@ -1,0 +1,88 @@
+"""Configuration (de)serialisation.
+
+Experiment campaigns archive the exact machine description next to their
+results; these helpers round-trip :class:`~repro.config.SystemConfig`
+through plain dictionaries and JSON files.  Unknown keys are rejected
+(a typo'd override should fail loudly, not silently fall back to a
+default).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, fields, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, Type, TypeVar, Union
+
+from repro.config import (
+    CacheConfig,
+    DRAMConfig,
+    GPUConfig,
+    IOMMUConfig,
+    PWCConfig,
+    SystemConfig,
+    TLBConfig,
+)
+
+T = TypeVar("T")
+
+#: Nested dataclass field types of the configuration tree, by owner.
+_NESTED: Dict[Type, Dict[str, Type]] = {
+    SystemConfig: {
+        "gpu": GPUConfig,
+        "l1_cache": CacheConfig,
+        "l2_cache": CacheConfig,
+        "gpu_l1_tlb": TLBConfig,
+        "gpu_l2_tlb": TLBConfig,
+        "iommu": IOMMUConfig,
+        "dram": DRAMConfig,
+    },
+    IOMMUConfig: {
+        "l1_tlb": TLBConfig,
+        "l2_tlb": TLBConfig,
+        "pwc": PWCConfig,
+    },
+}
+
+
+def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
+    """Flatten a configuration tree to JSON-serialisable primitives."""
+    if not is_dataclass(config):
+        raise TypeError(f"expected a dataclass, got {type(config)!r}")
+    return asdict(config)
+
+
+def _build(cls: Type[T], data: Dict[str, Any]) -> T:
+    known = {field.name for field in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} keys: {', '.join(sorted(unknown))}"
+        )
+    nested = _NESTED.get(cls, {})
+    kwargs: Dict[str, Any] = {}
+    for key, value in data.items():
+        if key in nested and isinstance(value, dict):
+            kwargs[key] = _build(nested[key], value)
+        else:
+            kwargs[key] = value
+    return cls(**kwargs)
+
+
+def config_from_dict(data: Dict[str, Any]) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from :func:`config_to_dict` output.
+
+    Partial dictionaries are allowed: omitted keys keep their defaults,
+    so ``{"iommu": {"scheduler": "simt"}}`` is a valid override file.
+    """
+    return _build(SystemConfig, data)
+
+
+def save_config(config: SystemConfig, path: Union[str, Path]) -> None:
+    """Write a configuration to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(config_to_dict(config), indent=2))
+
+
+def load_config(path: Union[str, Path]) -> SystemConfig:
+    """Read a configuration (possibly partial) from a JSON file."""
+    return config_from_dict(json.loads(Path(path).read_text()))

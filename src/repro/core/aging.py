@@ -1,0 +1,45 @@
+"""Starvation avoidance for score-based walk scheduling (paper §IV).
+
+Any priority scheduler can starve: a stream of low-score instructions
+could keep a high-score instruction's walks buffered forever.  The paper
+adds an aging scheme — a pending walk that has been bypassed by more than
+a threshold number of younger requests is serviced unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.request import WalkBufferEntry
+
+
+class AgingPolicy:
+    """Counts bypasses and promotes starving entries."""
+
+    def __init__(self, threshold: int) -> None:
+        if threshold <= 0:
+            raise ValueError("aging threshold must be positive")
+        self.threshold = threshold
+        self.promotions = 0
+
+    def record_bypasses(
+        self, entries: Iterable[WalkBufferEntry], dispatched: WalkBufferEntry
+    ) -> None:
+        """Credit a bypass to every entry older than the dispatched one."""
+        seq = dispatched.arrival_seq
+        for entry in entries:
+            if entry.arrival_seq < seq:
+                entry.bypass_count += 1
+
+    def starving(
+        self, entries: Iterable[WalkBufferEntry]
+    ) -> Optional[WalkBufferEntry]:
+        """The oldest entry past the threshold, or None."""
+        victim: Optional[WalkBufferEntry] = None
+        for entry in entries:
+            if entry.bypass_count >= self.threshold:
+                if victim is None or entry.arrival_seq < victim.arrival_seq:
+                    victim = entry
+        if victim is not None:
+            self.promotions += 1
+        return victim

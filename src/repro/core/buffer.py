@@ -1,0 +1,138 @@
+"""The IOMMU's buffer of pending page-table walk requests.
+
+The buffer is what a scheduler scans: the paper calls its size the
+scheduler's *lookahead* (Fig 14).  Entries are kept in arrival order;
+scans are linear, mirroring the hardware's associative scan of buffer
+slots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.request import TranslationRequest, WalkBufferEntry
+from repro.core.scoring import ScoreTable
+
+
+class PendingWalkBuffer:
+    """Holds pending walks, their coalescing state and instruction scores."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("buffer capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[int, WalkBufferEntry] = {}
+        # Duplicate-VPN entries are legal (the baseline IOMMU does not
+        # merge same-page walks across instructions), so index lists.
+        self._by_vpn: Dict[int, List[WalkBufferEntry]] = {}
+        self._scores = ScoreTable()
+        self._arrival_seq = 0
+        self.peak_occupancy = 0
+        self.total_insertions = 0
+        self.total_coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[WalkBufferEntry]:
+        """Iterate entries in arrival order."""
+        return iter(self._entries.values())
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def find_by_vpn(self, vpn: int) -> Optional[WalkBufferEntry]:
+        """The oldest pending entry for ``vpn``, if any (for coalescing)."""
+        entries = self._by_vpn.get(vpn)
+        return entries[0] if entries else None
+
+    def add(
+        self,
+        request: TranslationRequest,
+        arrival_time: int,
+        estimated_accesses: int = 0,
+    ) -> WalkBufferEntry:
+        """Insert a new pending walk for ``request``.
+
+        ``estimated_accesses`` is the PWC-probe estimate (action 1-a);
+        it is accumulated into the issuing instruction's score (1-b).
+        The score persists until :meth:`complete_walk` is called for the
+        instruction's last walk.  Raises :class:`OverflowError` when the
+        buffer is full — callers must check :attr:`is_full` and apply
+        back-pressure.
+        """
+        if self.is_full:
+            raise OverflowError("IOMMU buffer is full")
+        entry = WalkBufferEntry(
+            request,
+            arrival_seq=self._arrival_seq,
+            arrival_time=arrival_time,
+            estimated_accesses=estimated_accesses,
+        )
+        self._arrival_seq += 1
+        self._entries[entry.arrival_seq] = entry
+        self._by_vpn.setdefault(entry.vpn, []).append(entry)
+        self._scores.add(entry.instruction_id, estimated_accesses)
+        self.total_insertions += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        return entry
+
+    def attach(self, entry: WalkBufferEntry, request: TranslationRequest) -> None:
+        """Coalesce a same-page request onto an existing pending walk.
+
+        The new request contributes no extra walk work (the single walk
+        serves both), so scores are unchanged.
+        """
+        entry.attach(request)
+        self.total_coalesced += 1
+
+    def remove(self, entry: WalkBufferEntry) -> None:
+        """Remove a dispatched (or cancelled) entry.
+
+        The instruction's score is intentionally NOT released here — the
+        walk is merely moving from pending to in-flight.  Call
+        :meth:`complete_walk` when the walk finishes.
+        """
+        stored = self._entries.pop(entry.arrival_seq, None)
+        if stored is not entry:
+            raise KeyError(f"entry {entry!r} is not in the buffer")
+        same_vpn = self._by_vpn[entry.vpn]
+        same_vpn.remove(entry)
+        if not same_vpn:
+            del self._by_vpn[entry.vpn]
+
+    def account_direct_dispatch(
+        self, instruction_id: int, estimated_accesses: int
+    ) -> None:
+        """Score a walk that bypassed the buffer (idle-walker fast path).
+
+        Keeps the instruction's score complete even when some of its
+        walks never queued.
+        """
+        self._scores.add(instruction_id, estimated_accesses)
+
+    def complete_walk(self, instruction_id: int) -> None:
+        """Release one walk's score accounting (after the walk finishes)."""
+        self._scores.complete(instruction_id)
+
+    def score_of(self, entry: WalkBufferEntry) -> int:
+        """The aggregate score of the entry's issuing instruction."""
+        return self._scores.score_of(entry.instruction_id)
+
+    def oldest(self) -> Optional[WalkBufferEntry]:
+        """The entry that arrived first (FCFS choice)."""
+        for entry in self._entries.values():
+            return entry
+        return None
+
+    def oldest_for_instruction(self, instruction_id: int) -> Optional[WalkBufferEntry]:
+        """The oldest pending entry of ``instruction_id``, or None."""
+        for entry in self._entries.values():
+            if entry.instruction_id == instruction_id:
+                return entry
+        return None

@@ -1,0 +1,278 @@
+"""Page-table walk schedulers.
+
+The scheduler decides, each time a hardware page-table walker becomes
+free, which pending walk in the IOMMU buffer it services next.  The
+paper's contribution is the :class:`SIMTAwareScheduler`; the others are
+the baselines it is evaluated against (FCFS, random) and single-idea
+ablations (SJF-only, batch-only).
+
+All schedulers share one tiny interface so the IOMMU can host any of
+them:
+
+``on_arrival(entry, buffer)``
+    Called after a new walk request is buffered (the entry's PWC-based
+    estimate has already been folded into its instruction's score).
+
+``select(buffer)``
+    Called when a walker is free; returns the entry to service next (the
+    IOMMU removes it from the buffer) or None to idle.
+
+``needs_scores``
+    Whether the IOMMU should spend a PWC probe on every arriving request
+    to maintain scores.  Baselines that ignore scores skip the probe so
+    they do not perturb PWC counters.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Optional
+
+from repro.core.aging import AgingPolicy
+from repro.core.buffer import PendingWalkBuffer
+from repro.core.request import WalkBufferEntry
+
+
+class WalkScheduler(ABC):
+    """Base class for walk-selection policies."""
+
+    #: Short name used in configs, result tables and the registry.
+    name = "abstract"
+    #: Whether arriving requests must be scored against the PWC.
+    needs_scores = False
+    #: Whether selection scans the pending buffer (and therefore pays
+    #: ``IOMMUConfig.scan_latency_cycles``).  FIFO-style policies pop a
+    #: queue head in hardware and pay nothing.
+    requires_scan = True
+
+    def on_arrival(self, entry: WalkBufferEntry, buffer: PendingWalkBuffer) -> None:
+        """Hook for arrival-time bookkeeping.  Default: nothing."""
+
+    @abstractmethod
+    def select(self, buffer: PendingWalkBuffer) -> Optional[WalkBufferEntry]:
+        """Choose the next entry to dispatch."""
+
+    def note_dispatch(self, entry: WalkBufferEntry) -> None:
+        """Observe a dispatch that bypassed the policy.
+
+        The IOMMU dispatches an arriving request straight to an idle
+        walker without consulting ``select``; schedulers that track the
+        most-recently-scheduled instruction still need to see it.
+        """
+
+
+class FCFSScheduler(WalkScheduler):
+    """First-come-first-serve: the paper's baseline policy."""
+
+    name = "fcfs"
+    requires_scan = False
+
+    def select(self, buffer: PendingWalkBuffer) -> Optional[WalkBufferEntry]:
+        """Choose the next pending walk under this policy."""
+        return buffer.oldest()
+
+
+class RandomScheduler(WalkScheduler):
+    """Uniformly random selection — the paper's worst case (Fig 2)."""
+
+    name = "random"
+    requires_scan = False
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def select(self, buffer: PendingWalkBuffer) -> Optional[WalkBufferEntry]:
+        """Choose the next pending walk under this policy."""
+        if buffer.is_empty:
+            return None
+        index = self._rng.randrange(len(buffer))
+        for position, entry in enumerate(buffer):
+            if position == index:
+                return entry
+        raise AssertionError("unreachable: index within len(buffer)")
+
+
+class SJFScheduler(WalkScheduler):
+    """Shortest-job-first on instruction scores only (key idea 1, ablation).
+
+    Picks the pending walk whose issuing instruction has the lowest
+    aggregate score; ties go to the oldest entry.
+    """
+
+    name = "sjf"
+    needs_scores = True
+
+    def __init__(self, aging_threshold: int = 2_000_000) -> None:
+        self.aging = AgingPolicy(aging_threshold)
+
+    def select(self, buffer: PendingWalkBuffer) -> Optional[WalkBufferEntry]:
+        """Choose the next pending walk under this policy."""
+        if buffer.is_empty:
+            return None
+        starving = self.aging.starving(buffer)
+        if starving is not None:
+            choice = starving
+        else:
+            choice = min(buffer, key=lambda e: (buffer.score_of(e), e.arrival_seq))
+        self.aging.record_bypasses(buffer, choice)
+        return choice
+
+
+class BatchScheduler(WalkScheduler):
+    """Batching only (key idea 2, ablation).
+
+    Prefers walks from the same instruction as the most recently
+    scheduled walk; otherwise falls back to FCFS.
+    """
+
+    name = "batch"
+
+    def __init__(self) -> None:
+        self._last_instruction: Optional[int] = None
+
+    def note_dispatch(self, entry: WalkBufferEntry) -> None:
+        """Track the most recently dispatched instruction (batching)."""
+        self._last_instruction = entry.instruction_id
+
+    def select(self, buffer: PendingWalkBuffer) -> Optional[WalkBufferEntry]:
+        """Choose the next pending walk under this policy."""
+        if buffer.is_empty:
+            return None
+        if self._last_instruction is not None:
+            same = buffer.oldest_for_instruction(self._last_instruction)
+            if same is not None:
+                self.note_dispatch(same)
+                return same
+        choice = buffer.oldest()
+        assert choice is not None
+        self.note_dispatch(choice)
+        return choice
+
+
+class SIMTAwareScheduler(WalkScheduler):
+    """The paper's SIMT-aware page-table walk scheduler (§IV).
+
+    Selection order when a walker frees up:
+
+    1. *Aging*: an entry bypassed ≥ threshold times is serviced first
+       (oldest such entry).
+    2. *Batching*: the oldest pending walk from the same instruction as
+       the most recently dispatched walk (action 2-a).
+    3. *Shortest-job-first*: the entry whose instruction has the lowest
+       aggregate score, oldest first on ties.
+    """
+
+    name = "simt"
+    needs_scores = True
+
+    def __init__(self, aging_threshold: int = 2_000_000) -> None:
+        self.aging = AgingPolicy(aging_threshold)
+        self._last_instruction: Optional[int] = None
+        self.batch_hits = 0
+        self.sjf_picks = 0
+
+    def note_dispatch(self, entry: WalkBufferEntry) -> None:
+        """Track the most recently dispatched instruction (batching)."""
+        self._last_instruction = entry.instruction_id
+
+    def select(self, buffer: PendingWalkBuffer) -> Optional[WalkBufferEntry]:
+        """Choose the next pending walk under this policy."""
+        if buffer.is_empty:
+            return None
+        choice = self.aging.starving(buffer)
+        if choice is None and self._last_instruction is not None:
+            choice = buffer.oldest_for_instruction(self._last_instruction)
+            if choice is not None:
+                self.batch_hits += 1
+        if choice is None:
+            choice = min(buffer, key=lambda e: (buffer.score_of(e), e.arrival_seq))
+            self.sjf_picks += 1
+        self.aging.record_bypasses(buffer, choice)
+        self.note_dispatch(choice)
+        return choice
+
+
+class FairShareScheduler(WalkScheduler):
+    """QoS extension: SIMT-aware scheduling with per-application fairness.
+
+    The paper closes by inviting follow-on work on page-walk scheduling
+    "for both performance and QoS".  This policy adds an ATLAS-style
+    least-attained-service tier between batching and SJF: when several
+    applications share the GPU, the app that has received the least walk
+    service so far gets first pick, and the SIMT-aware rules order walks
+    *within* it.  With a single application it degenerates to the plain
+    SIMT-aware policy.
+    """
+
+    name = "fairshare"
+    needs_scores = True
+
+    def __init__(self, aging_threshold: int = 2_000_000) -> None:
+        self.aging = AgingPolicy(aging_threshold)
+        self._last_instruction: Optional[int] = None
+        #: Walk-work (estimated accesses) served so far, per application.
+        self.attained_service: Dict[int, int] = {}
+
+    def note_dispatch(self, entry: WalkBufferEntry) -> None:
+        """Track the most recently dispatched instruction (batching)."""
+        self._last_instruction = entry.instruction_id
+        self.attained_service[entry.app_id] = (
+            self.attained_service.get(entry.app_id, 0)
+            + max(1, entry.estimated_accesses)
+        )
+
+    def select(self, buffer: PendingWalkBuffer) -> Optional[WalkBufferEntry]:
+        """Choose the next pending walk under this policy."""
+        if buffer.is_empty:
+            return None
+        choice = self.aging.starving(buffer)
+        if choice is None and self._last_instruction is not None:
+            choice = buffer.oldest_for_instruction(self._last_instruction)
+        if choice is None:
+            pending_apps = {entry.app_id for entry in buffer}
+            neediest = min(
+                pending_apps, key=lambda app: self.attained_service.get(app, 0)
+            )
+            choice = min(
+                (entry for entry in buffer if entry.app_id == neediest),
+                key=lambda e: (buffer.score_of(e), e.arrival_seq),
+            )
+        self.aging.record_bypasses(buffer, choice)
+        self.note_dispatch(choice)
+        return choice
+
+
+_FACTORIES: Dict[str, Callable[..., WalkScheduler]] = {
+    "fcfs": lambda **kw: FCFSScheduler(),
+    "random": lambda **kw: RandomScheduler(seed=kw.get("seed", 0)),
+    "sjf": lambda **kw: SJFScheduler(aging_threshold=kw.get("aging_threshold", 2_000_000)),
+    "batch": lambda **kw: BatchScheduler(),
+    "simt": lambda **kw: SIMTAwareScheduler(
+        aging_threshold=kw.get("aging_threshold", 2_000_000)
+    ),
+    "fairshare": lambda **kw: FairShareScheduler(
+        aging_threshold=kw.get("aging_threshold", 2_000_000)
+    ),
+}
+
+
+def available_schedulers() -> tuple:
+    """Names of every registered scheduling policy."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_scheduler(name: str, **kwargs) -> WalkScheduler:
+    """Instantiate a scheduler by registry name.
+
+    ``kwargs`` may include ``seed`` (random) and ``aging_threshold``
+    (sjf / simt); irrelevant keys are ignored so one call site can serve
+    every policy.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; available: {', '.join(available_schedulers())}"
+        ) from None
+    return factory(**kwargs)

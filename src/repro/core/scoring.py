@@ -1,0 +1,67 @@
+"""Per-instruction work scores (paper §IV, actions 1-a / 1-b).
+
+The score of a SIMD instruction estimates the total number of page-table
+memory accesses needed to service *all* of its walk requests: each
+request arriving at the IOMMU contributes its PWC-probe estimate (1–4
+accesses) to the issuing instruction's running total.  Every buffered
+request of an instruction shares the instruction's score; with a 64-wide
+wavefront the score ranges 1–256.
+
+Lifetime: a score accumulates from the instruction's first walk request
+and is retained until its *last* walk completes.  Retention matters
+because an instruction's requests trickle into the IOMMU over many
+cycles (one per coalescer-port cycle): if the score were dropped as soon
+as the instruction's buffered requests drained, every instruction would
+briefly re-appear as a "short job" each time a new request of its
+arrived, and shortest-job-first would degenerate into
+newest-instruction-first — starving older heavy instructions instead of
+ordering by true job length.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class ScoreTable:
+    """Tracks the aggregate walk-work score of each SIMD instruction."""
+
+    def __init__(self) -> None:
+        self._scores: Dict[int, int] = {}
+        self._active: Dict[int, int] = {}
+
+    def add(self, instruction_id: int, estimated_accesses: int) -> int:
+        """Account a walk request entering the IOMMU; returns the score.
+
+        ``estimated_accesses`` is the request's PWC-probe estimate
+        (action 1-a); it is summed into the instruction's total (1-b).
+        """
+        if estimated_accesses < 0:
+            raise ValueError("estimated accesses must be non-negative")
+        self._scores[instruction_id] = (
+            self._scores.get(instruction_id, 0) + estimated_accesses
+        )
+        self._active[instruction_id] = self._active.get(instruction_id, 0) + 1
+        return self._scores[instruction_id]
+
+    def complete(self, instruction_id: int) -> None:
+        """Account a walk finishing.  Frees the score after the last one."""
+        remaining = self._active.get(instruction_id)
+        if remaining is None:
+            raise KeyError(f"instruction {instruction_id} has no active walks")
+        if remaining == 1:
+            del self._active[instruction_id]
+            del self._scores[instruction_id]
+        else:
+            self._active[instruction_id] = remaining - 1
+
+    def score_of(self, instruction_id: int) -> int:
+        """Current score of an instruction (0 when it has nothing active)."""
+        return self._scores.get(instruction_id, 0)
+
+    def active_walks(self, instruction_id: int) -> int:
+        """Walks of this instruction currently buffered or in flight."""
+        return self._active.get(instruction_id, 0)
+
+    def __len__(self) -> int:
+        return len(self._scores)

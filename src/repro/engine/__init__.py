@@ -1,0 +1,6 @@
+"""Discrete-event simulation kernel."""
+
+from repro.engine.event_queue import EventQueue
+from repro.engine.simulator import Simulator
+
+__all__ = ["EventQueue", "Simulator"]

@@ -1,0 +1,50 @@
+"""A stable binary-heap event queue.
+
+Events are ordered first by timestamp, then by insertion order so that
+events scheduled for the same cycle fire in FIFO order.  This stability
+matters for reproducibility: the simulator must produce bit-identical
+statistics across runs with the same seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Tuple
+
+Event = Tuple[int, int, Callable[[], Any]]
+
+
+class EventQueue:
+    """Min-heap of ``(time, sequence, callback)`` events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: int, callback: Callable[[], Any]) -> None:
+        """Schedule ``callback`` to fire at ``time``.
+
+        ``time`` must be an integer cycle count; fractional timestamps
+        would break the determinism guarantees of the engine.
+        """
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        heapq.heappush(self._heap, (time, self._sequence, callback))
+        self._sequence += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> int:
+        """Timestamp of the earliest pending event.
+
+        Raises :class:`IndexError` when the queue is empty.
+        """
+        return self._heap[0][0]

@@ -1,0 +1,87 @@
+"""The simulation kernel: a clock plus an event loop.
+
+Every hardware model in this package (TLBs, walkers, DRAM banks, compute
+units) advances by scheduling callbacks on a shared :class:`Simulator`.
+The kernel is deliberately tiny — models register plain callables, there
+is no process/coroutine machinery — which keeps the event loop fast
+enough to run millions of events in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.engine.event_queue import EventQueue
+
+
+class Simulator:
+    """A discrete-event simulator with an integer cycle clock."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> int:
+        """The current simulation time in cycles."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events fired so far (for progress reporting)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def at(self, time: int, callback: Callable[[], Any]) -> None:
+        """Schedule ``callback`` at absolute cycle ``time``.
+
+        Scheduling in the past is an error — it indicates a model bug
+        (e.g. a resource reporting completion before it started).
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time}, current time is {self._now}"
+            )
+        self._queue.push(time, callback)
+
+    def after(self, delay: int, callback: Callable[[], Any]) -> None:
+        """Schedule ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self._queue.push(self._now + delay, callback)
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Stops when the queue is empty, when the next event would fire
+        after ``until``, or after ``max_events`` events.  Returns the
+        final simulation time.
+        """
+        queue = self._queue
+        fired = 0
+        while queue:
+            if until is not None and queue.peek_time() > until:
+                self._now = until
+                break
+            if max_events is not None and fired >= max_events:
+                break
+            time, _, callback = queue.pop()
+            self._now = time
+            callback()
+            fired += 1
+        self._events_processed += fired
+        return self._now
+
+    def step(self) -> bool:
+        """Fire a single event.  Returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _, callback = self._queue.pop()
+        self._now = time
+        callback()
+        self._events_processed += 1
+        return True

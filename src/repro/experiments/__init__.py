@@ -1,0 +1,25 @@
+"""Experiment harness: one entry point per paper figure and table."""
+
+from repro.experiments.runner import (
+    build_system,
+    compare_schedulers,
+    run_simulation,
+)
+from repro.experiments.multitenancy import (
+    MultiAppResult,
+    qos_comparison,
+    run_multi_simulation,
+)
+from repro.experiments import figures
+from repro.experiments import report
+
+__all__ = [
+    "MultiAppResult",
+    "build_system",
+    "compare_schedulers",
+    "figures",
+    "qos_comparison",
+    "report",
+    "run_multi_simulation",
+    "run_simulation",
+]

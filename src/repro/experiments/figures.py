@@ -1,0 +1,394 @@
+"""One function per figure/table of the paper's evaluation.
+
+Each ``fig*`` function runs the simulations it needs and returns plain
+data (dicts keyed by workload abbreviation) shaped like the paper's
+figure.  Rendering to text lives in :mod:`repro.experiments.report`; the
+benchmark harness under ``benchmarks/`` calls these functions and prints
+the same rows/series the paper reports.
+
+Runs are memoised per (workload, scheduler, config-knobs, scale, seed)
+within the process, because several figures share the same FCFS/SIMT
+pairs (Figs 8–12 all reuse them).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SystemConfig, baseline_config
+from repro.experiments.runner import run_simulation
+from repro.stats.metrics import FIG3_BUCKETS, SimulationResult, geometric_mean
+from repro.workloads.registry import (
+    IRREGULAR_WORKLOADS,
+    REGULAR_WORKLOADS,
+    all_workloads,
+)
+
+#: The four applications the paper uses for its motivation figures (2-6).
+MOTIVATION_WORKLOADS: Tuple[str, ...] = ("MVT", "ATX", "BIC", "GEV")
+
+#: Default run size for figure regeneration.
+DEFAULT_SCALE = 1.0
+DEFAULT_WAVEFRONTS = 64
+
+
+@lru_cache(maxsize=None)
+def _run(
+    workload: str,
+    scheduler: str,
+    scale: float,
+    num_wavefronts: int,
+    seed: int,
+    l2_tlb_entries: Optional[int] = None,
+    num_walkers: Optional[int] = None,
+    buffer_entries: Optional[int] = None,
+) -> SimulationResult:
+    config: SystemConfig = baseline_config()
+    if l2_tlb_entries is not None:
+        config = config.with_l2_tlb_entries(l2_tlb_entries)
+    if num_walkers is not None:
+        config = config.with_walkers(num_walkers)
+    if buffer_entries is not None:
+        config = config.with_iommu_buffer(buffer_entries)
+    return run_simulation(
+        workload,
+        config=config,
+        scheduler=scheduler,
+        num_wavefronts=num_wavefronts,
+        scale=scale,
+        seed=seed,
+    )
+
+
+def clear_run_cache() -> None:
+    """Drop memoised simulation results (tests use this for isolation)."""
+    _run.cache_clear()
+
+
+# ----------------------------------------------------------------------
+# Motivation figures (Section III)
+# ----------------------------------------------------------------------
+
+
+def fig2_scheduler_impact(
+    scale: float = DEFAULT_SCALE,
+    num_wavefronts: int = DEFAULT_WAVEFRONTS,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Fig 2: speedup of Random/FCFS/SIMT-aware, normalised to Random.
+
+    Returns ``{workload: {"random": 1.0, "fcfs": ..., "simt": ...}}``.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for workload in MOTIVATION_WORKLOADS:
+        runs = {
+            name: _run(workload, name, scale, num_wavefronts, seed)
+            for name in ("random", "fcfs", "simt")
+        }
+        base = runs["random"]
+        out[workload] = {
+            name: result.speedup_over(base) for name, result in runs.items()
+        }
+    return out
+
+
+def fig3_walk_work_distribution(
+    scale: float = DEFAULT_SCALE,
+    num_wavefronts: int = DEFAULT_WAVEFRONTS,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Fig 3: per-instruction page-walk memory-access distribution (FCFS).
+
+    Returns ``{workload: {"1-16": f, ..., "81-256": f}}`` — the fraction
+    of (walk-generating) SIMD instructions per work bucket.
+    """
+    labels = [f"{low}-{high}" for low, high in FIG3_BUCKETS]
+    out: Dict[str, Dict[str, float]] = {}
+    for workload in MOTIVATION_WORKLOADS:
+        result = _run(workload, "fcfs", scale, num_wavefronts, seed)
+        out[workload] = dict(zip(labels, result.walk_work_fractions))
+    return out
+
+
+def fig5_interleaving(
+    scale: float = DEFAULT_SCALE,
+    num_wavefronts: int = DEFAULT_WAVEFRONTS,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Fig 5: fraction of multi-walk instructions with interleaved walks."""
+    return {
+        workload: _run(workload, "fcfs", scale, num_wavefronts, seed).interleaved_fraction
+        for workload in MOTIVATION_WORKLOADS
+    }
+
+
+def fig6_first_last_latency(
+    scale: float = DEFAULT_SCALE,
+    num_wavefronts: int = DEFAULT_WAVEFRONTS,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Fig 6: first- vs last-completed walk latency, normalised to first."""
+    out: Dict[str, Dict[str, float]] = {}
+    for workload in MOTIVATION_WORKLOADS:
+        result = _run(workload, "fcfs", scale, num_wavefronts, seed)
+        first = result.first_walk_latency or 1.0
+        out[workload] = {
+            "first_completed": 1.0,
+            "last_completed": result.last_walk_latency / first,
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Main results (Section V-B)
+# ----------------------------------------------------------------------
+
+
+def _fcfs_simt_pairs(
+    workloads: Sequence[str], scale: float, num_wavefronts: int, seed: int
+) -> Dict[str, Tuple[SimulationResult, SimulationResult]]:
+    return {
+        workload: (
+            _run(workload, "fcfs", scale, num_wavefronts, seed),
+            _run(workload, "simt", scale, num_wavefronts, seed),
+        )
+        for workload in workloads
+    }
+
+
+def _with_group_means(values: Dict[str, float]) -> Dict[str, float]:
+    """Append the paper's per-group geometric means to a result row."""
+    out = dict(values)
+    irregular = [values[w] for w in IRREGULAR_WORKLOADS if w in values]
+    regular = [values[w] for w in REGULAR_WORKLOADS if w in values]
+    if irregular:
+        out["Mean(irregular)"] = geometric_mean(irregular)
+    if regular:
+        out["Mean(regular)"] = geometric_mean(regular)
+    return out
+
+
+def fig8_speedup(
+    scale: float = DEFAULT_SCALE,
+    num_wavefronts: int = DEFAULT_WAVEFRONTS,
+    seed: int = 0,
+    workloads: Sequence[str] = IRREGULAR_WORKLOADS + REGULAR_WORKLOADS,
+) -> Dict[str, float]:
+    """Fig 8: speedup of SIMT-aware over FCFS for all twelve workloads."""
+    pairs = _fcfs_simt_pairs(workloads, scale, num_wavefronts, seed)
+    return _with_group_means(
+        {w: simt.speedup_over(fcfs) for w, (fcfs, simt) in pairs.items()}
+    )
+
+
+def fig9_stall_cycles(
+    scale: float = DEFAULT_SCALE,
+    num_wavefronts: int = DEFAULT_WAVEFRONTS,
+    seed: int = 0,
+    workloads: Sequence[str] = IRREGULAR_WORKLOADS + REGULAR_WORKLOADS,
+) -> Dict[str, float]:
+    """Fig 9: CU execution-stage stall cycles, SIMT-aware over FCFS."""
+    pairs = _fcfs_simt_pairs(workloads, scale, num_wavefronts, seed)
+    return _with_group_means(
+        {
+            w: (simt.stall_cycles / fcfs.stall_cycles if fcfs.stall_cycles else 1.0)
+            for w, (fcfs, simt) in pairs.items()
+        }
+    )
+
+
+def fig10_latency_gap(
+    scale: float = DEFAULT_SCALE,
+    num_wavefronts: int = DEFAULT_WAVEFRONTS,
+    seed: int = 0,
+    workloads: Sequence[str] = IRREGULAR_WORKLOADS,
+) -> Dict[str, float]:
+    """Fig 10: first/last walk latency gap, SIMT-aware normalised to FCFS."""
+    pairs = _fcfs_simt_pairs(workloads, scale, num_wavefronts, seed)
+    out: Dict[str, float] = {}
+    for w, (fcfs, simt) in pairs.items():
+        out[w] = simt.latency_gap / fcfs.latency_gap if fcfs.latency_gap else 1.0
+    out["Mean"] = geometric_mean(list(out.values()))
+    return out
+
+
+def fig11_walk_count(
+    scale: float = DEFAULT_SCALE,
+    num_wavefronts: int = DEFAULT_WAVEFRONTS,
+    seed: int = 0,
+    workloads: Sequence[str] = IRREGULAR_WORKLOADS,
+) -> Dict[str, float]:
+    """Fig 11: page-table walks performed, SIMT-aware normalised to FCFS."""
+    pairs = _fcfs_simt_pairs(workloads, scale, num_wavefronts, seed)
+    out = {
+        w: simt.walks_dispatched / fcfs.walks_dispatched
+        for w, (fcfs, simt) in pairs.items()
+    }
+    out["Mean"] = geometric_mean(list(out.values()))
+    return out
+
+
+def fig12_active_wavefronts(
+    scale: float = DEFAULT_SCALE,
+    num_wavefronts: int = DEFAULT_WAVEFRONTS,
+    seed: int = 0,
+    workloads: Sequence[str] = IRREGULAR_WORKLOADS,
+) -> Dict[str, float]:
+    """Fig 12: distinct wavefronts per GPU-L2-TLB epoch, SIMT over FCFS."""
+    pairs = _fcfs_simt_pairs(workloads, scale, num_wavefronts, seed)
+    out: Dict[str, float] = {}
+    for w, (fcfs, simt) in pairs.items():
+        out[w] = (
+            simt.wavefronts_per_epoch / fcfs.wavefronts_per_epoch
+            if fcfs.wavefronts_per_epoch
+            else 1.0
+        )
+    out["Mean"] = geometric_mean(list(out.values()))
+    return out
+
+
+def translation_overhead(
+    scale: float = DEFAULT_SCALE,
+    num_wavefronts: int = DEFAULT_WAVEFRONTS,
+    seed: int = 0,
+    workloads: Sequence[str] = IRREGULAR_WORKLOADS + REGULAR_WORKLOADS,
+) -> Dict[str, float]:
+    """§I motivation: slowdown due to address translation alone.
+
+    Ratio of each workload's FCFS runtime to its runtime under an oracle
+    MMU (zero-cost, never-missing translation).  The study the paper
+    builds on (Vesely et al., ISPASS 2016) reports up to 3.7-4× for
+    irregular GPU applications on real hardware.
+    """
+    from dataclasses import replace as _replace
+
+    out: Dict[str, float] = {}
+    for workload in workloads:
+        real = _run(workload, "fcfs", scale, num_wavefronts, seed)
+        ideal_config = _replace(baseline_config(), perfect_translation=True)
+        ideal = run_simulation(
+            workload,
+            config=ideal_config,
+            num_wavefronts=num_wavefronts,
+            scale=scale,
+            seed=seed,
+        )
+        out[workload] = real.total_cycles / ideal.total_cycles
+    return out
+
+
+# ----------------------------------------------------------------------
+# Sensitivity studies (Section V-B2)
+# ----------------------------------------------------------------------
+
+#: Fig 13 variants: (GPU L2 TLB entries, walker count).
+FIG13_VARIANTS: Dict[str, Tuple[int, int]] = {
+    "a_1024tlb_8walkers": (1024, 8),
+    "b_512tlb_16walkers": (512, 16),
+    "c_1024tlb_16walkers": (1024, 16),
+}
+
+
+def fig13_sensitivity(
+    variant: str,
+    scale: float = DEFAULT_SCALE,
+    num_wavefronts: int = DEFAULT_WAVEFRONTS,
+    seed: int = 0,
+    workloads: Sequence[str] = IRREGULAR_WORKLOADS,
+) -> Dict[str, float]:
+    """Fig 13a/b/c: SIMT-over-FCFS speedup with bigger TLB / more walkers."""
+    try:
+        l2_entries, walkers = FIG13_VARIANTS[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown variant {variant!r}; one of {sorted(FIG13_VARIANTS)}"
+        ) from None
+    out: Dict[str, float] = {}
+    for w in workloads:
+        fcfs = _run(w, "fcfs", scale, num_wavefronts, seed, l2_entries, walkers)
+        simt = _run(w, "simt", scale, num_wavefronts, seed, l2_entries, walkers)
+        out[w] = simt.speedup_over(fcfs)
+    out["Mean"] = geometric_mean(list(out.values()))
+    return out
+
+
+def fig14_buffer_size(
+    buffer_entries: int,
+    scale: float = DEFAULT_SCALE,
+    num_wavefronts: int = DEFAULT_WAVEFRONTS,
+    seed: int = 0,
+    workloads: Sequence[str] = IRREGULAR_WORKLOADS,
+) -> Dict[str, float]:
+    """Fig 14: SIMT-over-FCFS speedup at a given IOMMU buffer size."""
+    if buffer_entries <= 0:
+        raise ValueError("buffer size must be positive")
+    out: Dict[str, float] = {}
+    for w in workloads:
+        fcfs = _run(
+            w, "fcfs", scale, num_wavefronts, seed, buffer_entries=buffer_entries
+        )
+        simt = _run(
+            w, "simt", scale, num_wavefronts, seed, buffer_entries=buffer_entries
+        )
+        out[w] = simt.speedup_over(fcfs)
+    out["Mean"] = geometric_mean(list(out.values()))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+
+
+def table1_configuration() -> Dict[str, str]:
+    """Table I: the baseline system configuration, as labelled rows."""
+    config = baseline_config()
+    gpu, dram, iommu = config.gpu, config.dram, config.iommu
+    return {
+        "GPU": (
+            f"{gpu.clock_ghz:g}GHz, {gpu.num_cus} CUs, "
+            f"{gpu.simd_units_per_cu} SIMD per CU, "
+            f"{gpu.simd_width} SIMD width, {gpu.wavefront_size} threads per wavefront"
+        ),
+        "L1 Data Cache": (
+            f"{config.l1_cache.size_bytes // 1024}KB, "
+            f"{config.l1_cache.associativity}-way, {config.l1_cache.line_size}B block"
+        ),
+        "L2 Data Cache": (
+            f"{config.l2_cache.size_bytes // (1024 * 1024)}MB, "
+            f"{config.l2_cache.associativity}-way, {config.l2_cache.line_size}B block"
+        ),
+        "L1 TLB": f"{config.gpu_l1_tlb.entries} entries, Fully-associative",
+        "L2 TLB": (
+            f"{config.gpu_l2_tlb.entries} entries, "
+            f"{config.gpu_l2_tlb.associativity}-way set associative"
+        ),
+        "IOMMU": (
+            f"{iommu.buffer_entries} buffer entries, {iommu.num_walkers} page table "
+            f"walkers, {iommu.l1_tlb.entries}/{iommu.l2_tlb.entries} entries for "
+            f"IOMMU L1/L2 TLB, {iommu.scheduler.upper()} scheduling of page walks"
+        ),
+        "DRAM": (
+            f"DDR3-1600, {dram.channels} channel, {dram.banks_per_rank} banks per "
+            f"rank, {dram.ranks_per_channel} ranks per channel"
+        ),
+    }
+
+
+def table2_workloads(scale: float = 1.0) -> List[Dict[str, object]]:
+    """Table II: benchmarks with paper-reported and modelled footprints."""
+    rows: List[Dict[str, object]] = []
+    for workload in all_workloads(scale=scale):
+        rows.append(
+            {
+                "abbrev": workload.abbrev,
+                "name": workload.name,
+                "description": workload.description,
+                "suite": workload.suite,
+                "irregular": workload.irregular,
+                "paper_footprint_mb": workload.nominal_footprint_mb,
+                "modelled_footprint_mb": round(workload.modelled_footprint_mb, 2),
+            }
+        )
+    return rows

@@ -1,0 +1,83 @@
+"""Plain-text rendering of experiment results, in the paper's shape.
+
+These renderers take the dicts produced by
+:mod:`repro.experiments.figures` and print aligned rows/series so a
+terminal diff against the paper's figures is easy.  They are also what
+the benchmark harness prints after each run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def render_series(
+    title: str,
+    series: Mapping[str, float],
+    value_label: str = "value",
+    bars: bool = False,
+    bar_width: int = 40,
+) -> str:
+    """One row per key: ``MVT   1.23`` (optionally with an ASCII bar)."""
+    lines = [title, "=" * len(title)]
+    width = max((len(str(key)) for key in series), default=4)
+    lines.append(f"{'workload':<{width}}  {value_label}")
+    peak = max(series.values(), default=0.0)
+    for key, value in series.items():
+        row = f"{str(key):<{width}}  {value:8.3f}"
+        if bars and peak > 0:
+            row += "  " + "█" * max(0, round(value / peak * bar_width))
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_grouped(
+    title: str,
+    grouped: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str] = (),
+) -> str:
+    """One row per outer key, one column per inner key."""
+    lines = [title, "=" * len(title)]
+    keys = list(grouped)
+    if not keys:
+        return "\n".join(lines + ["(no data)"])
+    columns = list(columns) or list(grouped[keys[0]])
+    width = max(len(str(k)) for k in keys)
+    col_width = max(10, max(len(c) for c in columns) + 2)
+    header = f"{'workload':<{width}}" + "".join(
+        f"{c:>{col_width}}" for c in columns
+    )
+    lines.append(header)
+    for key in keys:
+        row = f"{str(key):<{width}}" + "".join(
+            f"{grouped[key].get(c, float('nan')):>{col_width}.3f}" for c in columns
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_table1(rows: Mapping[str, str]) -> str:
+    """Table I in the paper's two-column layout."""
+    lines = ["Table I: The baseline system configuration.", ""]
+    width = max(len(k) for k in rows)
+    for key, value in rows.items():
+        lines.append(f"{key:<{width}}  {value}")
+    return "\n".join(lines)
+
+
+def render_table2(rows: List[Dict[str, object]]) -> str:
+    """Table II: benchmark name, description and footprints."""
+    lines = ["Table II: GPU benchmarks for our study.", ""]
+    header = (
+        f"{'Abbrev':<7}{'Suite':<11}{'Irregular':<10}"
+        f"{'Paper MB':>10}{'Model MB':>10}  Description"
+    )
+    lines.append(header)
+    for row in rows:
+        lines.append(
+            f"{row['abbrev']:<7}{row['suite']:<11}"
+            f"{'yes' if row['irregular'] else 'no':<10}"
+            f"{row['paper_footprint_mb']:>10.2f}"
+            f"{row['modelled_footprint_mb']:>10.2f}  {row['description']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Build a simulated system, run a workload on it, collect the metrics.
+
+This is the library's main entry point::
+
+    from repro import run_simulation
+
+    result = run_simulation("MVT", scheduler="simt")
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Union
+
+from repro.config import SystemConfig, baseline_config
+from repro.engine.simulator import Simulator
+from repro.gpu.gpu import GPU
+from repro.memory.subsystem import MemorySubsystem
+from repro.mmu.geometry import geometry_by_name
+from repro.mmu.iommu import IOMMU
+from repro.mmu.page_table import FrameAllocator, PageTable
+from repro.stats.export import walk_latency_percentiles
+from repro.stats.metrics import (
+    SimulationResult,
+    instruction_walk_histogram,
+    latency_gap_stats,
+)
+from repro.workloads.base import Workload
+from repro.workloads.registry import get_workload
+
+#: Default number of wavefronts simulated per run: 2 waves of the
+#: baseline GPU's 32 resident slots, so slot back-fill is exercised and
+#: no single wavefront's tail dominates total cycles.
+DEFAULT_WAVEFRONTS = 64
+
+#: Safety valve: a run that exceeds this many cycles has almost certainly
+#: deadlocked (a model bug), so fail loudly instead of spinning.
+MAX_CYCLES = 2_000_000_000
+
+
+@dataclass
+class System:
+    """The wired-together simulated machine."""
+
+    simulator: Simulator
+    config: SystemConfig
+    page_table: PageTable
+    memory: MemorySubsystem
+    iommu: IOMMU
+    gpu: GPU
+
+
+def build_system(config: Optional[SystemConfig] = None) -> System:
+    """Construct and wire every hardware model from a configuration."""
+    config = config or baseline_config()
+    geometry = geometry_by_name(config.page_size)
+    simulator = Simulator()
+    page_table = PageTable(FrameAllocator(), geometry=geometry)
+    memory = MemorySubsystem(simulator, config)
+    iommu = IOMMU(
+        simulator,
+        config.iommu,
+        page_table,
+        page_table_read=memory.page_table_read,
+        geometry=geometry,
+    )
+    gpu = GPU(simulator, config, memory, iommu)
+    gpu.page_table = page_table
+    return System(
+        simulator=simulator,
+        config=config,
+        page_table=page_table,
+        memory=memory,
+        iommu=iommu,
+        gpu=gpu,
+    )
+
+
+def _resolve_workload(
+    workload: Union[str, Workload], scale: float, seed: int
+) -> Workload:
+    if isinstance(workload, Workload):
+        return workload
+    return get_workload(workload, scale=scale, seed=seed)
+
+
+def run_simulation(
+    workload: Union[str, Workload],
+    config: Optional[SystemConfig] = None,
+    scheduler: Optional[str] = None,
+    num_wavefronts: int = DEFAULT_WAVEFRONTS,
+    scale: float = 1.0,
+    seed: int = 0,
+    max_cycles: int = MAX_CYCLES,
+) -> SimulationResult:
+    """Simulate ``workload`` to completion and return its metrics.
+
+    ``workload`` is a Table II abbreviation ("MVT") or a
+    :class:`~repro.workloads.base.Workload` instance.  ``scheduler``
+    overrides the configuration's walk-scheduling policy.
+    """
+    config = config or baseline_config()
+    if scheduler is not None:
+        config = config.with_scheduler(scheduler, seed=seed)
+    bench = _resolve_workload(workload, scale=scale, seed=seed)
+    system = build_system(config)
+
+    traces = bench.build_trace(
+        num_wavefronts=num_wavefronts,
+        wavefront_size=config.gpu.wavefront_size,
+    )
+    system.gpu.dispatch(traces)
+    system.simulator.run(until=max_cycles)
+    if not system.gpu.finished:
+        raise RuntimeError(
+            f"simulation of {bench.abbrev} did not finish within "
+            f"{max_cycles} cycles ({system.simulator.pending_events} events pending)"
+        )
+    return collect_result(system, bench)
+
+
+def collect_result(system: System, workload: Workload) -> SimulationResult:
+    """Assemble a :class:`SimulationResult` from a finished system."""
+    gpu = system.gpu
+    iommu = system.iommu
+    records = gpu.instruction_records
+    first_latency, last_latency = latency_gap_stats(records)
+    histogram = instruction_walk_histogram(records)
+    assert gpu.completion_time is not None
+    return SimulationResult(
+        workload=workload.abbrev,
+        scheduler=iommu.scheduler.name,
+        total_cycles=gpu.completion_time,
+        instructions=len(records),
+        wavefronts=gpu.wavefronts_launched,
+        stall_cycles=gpu.total_stall_cycles,
+        walks_dispatched=iommu.walks_dispatched,
+        walk_memory_accesses=sum(w.memory_accesses for w in iommu.walkers),
+        interleaved_fraction=iommu.interleaved_instruction_fraction(),
+        first_walk_latency=first_latency,
+        last_walk_latency=last_latency,
+        wavefronts_per_epoch=gpu.mean_wavefronts_per_epoch,
+        walk_work_fractions=histogram.fractions(),
+        detail={
+            "iommu": iommu.stats(),
+            "memory": system.memory.stats(),
+            "gpu_l2_tlb": gpu.l2_tlb.stats(),
+            "mapped_pages": system.page_table.mapped_pages,
+            "walk_latency_percentiles": walk_latency_percentiles(records),
+        },
+    )
+
+
+def compare_schedulers(
+    workload: Union[str, Workload],
+    schedulers: Sequence[str] = ("fcfs", "simt"),
+    config: Optional[SystemConfig] = None,
+    num_wavefronts: int = DEFAULT_WAVEFRONTS,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> Dict[str, SimulationResult]:
+    """Run the same workload under several schedulers.
+
+    Each run gets a freshly-built system and an identical trace, so the
+    only difference between results is the walk-scheduling policy.
+    """
+    results: Dict[str, SimulationResult] = {}
+    for name in schedulers:
+        results[name] = run_simulation(
+            workload,
+            config=config,
+            scheduler=name,
+            num_wavefronts=num_wavefronts,
+            scale=scale,
+            seed=seed,
+        )
+    return results

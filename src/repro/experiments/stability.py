@@ -1,0 +1,97 @@
+"""Seed-stability analysis: are the reported speedups robust?
+
+A single-seed speedup can be a fluke of one trace.  This module re-runs
+a workload/scheduler comparison across several seeds (each seed
+re-generates the synthetic trace *and* re-seeds the random scheduler
+where applicable) and summarises the distribution, so benches and papers
+built on this repository can quote mean ± spread instead of a point
+estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.config import SystemConfig
+from repro.experiments.runner import compare_schedulers
+from repro.workloads.base import Workload
+
+
+@dataclass
+class StabilityReport:
+    """Distribution of a speedup across seeds."""
+
+    workload: str
+    numerator: str
+    denominator: str
+    speedups: List[float]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.speedups) / len(self.speedups)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.speedups) < 2:
+            return 0.0
+        mean = self.mean
+        variance = sum((s - mean) ** 2 for s in self.speedups) / (
+            len(self.speedups) - 1
+        )
+        return math.sqrt(variance)
+
+    @property
+    def spread(self) -> float:
+        """Max − min speedup across seeds."""
+        return max(self.speedups) - min(self.speedups)
+
+    def consistent_direction(self, threshold: float = 1.0) -> bool:
+        """True when every seed lands on the same side of ``threshold``."""
+        above = [s > threshold for s in self.speedups]
+        return all(above) or not any(above)
+
+    def summary(self) -> str:
+        return (
+            f"{self.workload}: {self.numerator}/{self.denominator} = "
+            f"{self.mean:.3f} ± {self.stdev:.3f} "
+            f"(n={len(self.speedups)}, spread={self.spread:.3f})"
+        )
+
+
+def seed_stability(
+    workload: Union[str, Workload],
+    seeds: Sequence[int] = (0, 1, 2),
+    numerator: str = "simt",
+    denominator: str = "fcfs",
+    config: Optional[SystemConfig] = None,
+    num_wavefronts: int = 32,
+    scale: float = 0.25,
+) -> StabilityReport:
+    """Measure ``numerator``-over-``denominator`` speedup across seeds.
+
+    Pass the workload by *name* to re-generate its trace per seed; a
+    :class:`Workload` instance pins the trace, so only scheduler
+    randomness (the random policy's RNG) varies across seeds.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    speedups: List[float] = []
+    for seed in seeds:
+        results = compare_schedulers(
+            workload,
+            schedulers=(denominator, numerator),
+            config=config,
+            num_wavefronts=num_wavefronts,
+            scale=scale,
+            seed=seed,
+        )
+        speedups.append(results[numerator].speedup_over(results[denominator]))
+    name = workload if isinstance(workload, str) else workload.abbrev
+    return StabilityReport(
+        workload=name,
+        numerator=numerator,
+        denominator=denominator,
+        speedups=speedups,
+    )

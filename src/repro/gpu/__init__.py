@@ -1,0 +1,15 @@
+"""GPU SIMT execution substrate: coalescer, wavefronts, CUs, top level."""
+
+from repro.gpu.coalescer import CoalescedInstruction, coalesce
+from repro.gpu.cu import ComputeUnit
+from repro.gpu.wavefront import InstructionRecord, Wavefront
+from repro.gpu.gpu import GPU
+
+__all__ = [
+    "GPU",
+    "CoalescedInstruction",
+    "ComputeUnit",
+    "InstructionRecord",
+    "Wavefront",
+    "coalesce",
+]

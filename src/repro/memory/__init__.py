@@ -1,0 +1,7 @@
+"""Memory substrate: data caches, DRAM timing, and the hierarchy glue."""
+
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.dram import DRAM
+from repro.memory.subsystem import MemorySubsystem
+
+__all__ = ["DRAM", "MemorySubsystem", "SetAssociativeCache"]

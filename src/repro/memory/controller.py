@@ -1,0 +1,144 @@
+"""A queued DRAM controller with pluggable request scheduling.
+
+The paper motivates page-walk scheduling by analogy to the rich body of
+memory-controller scheduling work (FR-FCFS, ATLAS, PAR-BS...).  The
+default DRAM model (:mod:`repro.memory.dram`) serves each bank in
+arrival order; this controller adds real request queues and two classic
+policies:
+
+``fcfs``
+    Oldest request whose bank is free.
+
+``frfcfs``
+    First-ready FCFS (Rixner et al., ISCA 2000): among requests whose
+    bank is free, prefer row-buffer *hits* (oldest first), falling back
+    to the oldest request.
+
+The controller exposes a callback API (``read(address, on_complete)``),
+so it can stand in wherever the reservation-based model is used.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.config import LINE_SIZE, DRAMConfig
+from repro.engine.simulator import Simulator
+
+
+class _Request:
+    __slots__ = ("address", "bank", "row", "arrival_seq", "on_complete")
+
+    def __init__(self, address, bank, row, arrival_seq, on_complete) -> None:
+        self.address = address
+        self.bank = bank
+        self.row = row
+        self.arrival_seq = arrival_seq
+        self.on_complete = on_complete
+
+
+class _Bank:
+    __slots__ = ("busy", "open_row")
+
+    def __init__(self) -> None:
+        self.busy = False
+        self.open_row = -1
+
+
+class QueuedMemoryController:
+    """Event-driven DRAM front end: queues, banks, a scheduling policy."""
+
+    POLICIES = ("fcfs", "frfcfs")
+
+    def __init__(
+        self, simulator: Simulator, config: DRAMConfig, policy: str = "frfcfs"
+    ) -> None:
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; one of {self.POLICIES}"
+            )
+        self._sim = simulator
+        self.config = config
+        self.policy = policy
+        self._banks: List[_Bank] = [_Bank() for _ in range(config.total_banks)]
+        self._queues: Dict[int, List[_Request]] = {}
+        self._arrival_seq = 0
+        self.reads = 0
+        self.row_hits = 0
+        self.row_conflicts = 0
+        self.peak_queue_depth = 0
+
+    def _map(self, address: int) -> Tuple[int, int]:
+        line = address // LINE_SIZE
+        cfg = self.config
+        channel = line % cfg.channels
+        banks_per_channel = cfg.ranks_per_channel * cfg.banks_per_rank
+        bank_in_channel = (line // cfg.channels) % banks_per_channel
+        bank_index = channel * banks_per_channel + bank_in_channel
+        row = address // (cfg.row_size_bytes * cfg.total_banks)
+        return bank_index, row
+
+    @property
+    def queued_requests(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def read(self, address: int, on_complete: Callable[[], None]) -> None:
+        """Enqueue one read; ``on_complete`` fires when data returns."""
+        bank, row = self._map(address)
+        request = _Request(address, bank, row, self._arrival_seq, on_complete)
+        self._arrival_seq += 1
+        self._queues.setdefault(bank, []).append(request)
+        self.peak_queue_depth = max(self.peak_queue_depth, self.queued_requests)
+        self._try_issue(bank)
+
+    def _select(self, queue: List[_Request], bank: _Bank) -> _Request:
+        if self.policy == "frfcfs":
+            for request in queue:  # oldest row-hit first
+                if request.row == bank.open_row:
+                    return request
+        return queue[0]  # fcfs fallback: the oldest
+
+    def _try_issue(self, bank_index: int) -> None:
+        bank = self._banks[bank_index]
+        queue = self._queues.get(bank_index)
+        if bank.busy or not queue:
+            return
+        request = self._select(queue, bank)
+        queue.remove(request)
+        cfg = self.config
+        if request.row == bank.open_row:
+            latency = cfg.t_cas
+            self.row_hits += 1
+        else:
+            latency = cfg.t_rp + cfg.t_rcd + cfg.t_cas
+            self.row_conflicts += 1
+            bank.open_row = request.row
+        bank.busy = True
+        self.reads += 1
+        self._sim.after(latency, lambda: self._complete(bank_index, request))
+
+    def _complete(self, bank_index: int, request: _Request) -> None:
+        request.on_complete()
+        # The bank stays occupied for the data burst before accepting
+        # its next request.
+        self._sim.after(
+            self.config.t_burst, lambda: self._release(bank_index)
+        )
+
+    def _release(self, bank_index: int) -> None:
+        self._banks[bank_index].busy = False
+        self._try_issue(bank_index)
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.reads if self.reads else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "reads": self.reads,
+            "row_hits": self.row_hits,
+            "row_conflicts": self.row_conflicts,
+            "row_hit_rate": self.row_hit_rate,
+            "peak_queue_depth": self.peak_queue_depth,
+            "policy": self.policy,
+        }

@@ -1,0 +1,103 @@
+"""A simplified DDR3-style DRAM timing model.
+
+Accuracy target: enough realism that (a) page-table walk accesses have
+variable, contention-dependent latency, and (b) heavy translation traffic
+queues up on banks — the effects the paper's scheduler interacts with.
+Each bank serialises its accesses and keeps an open row; a row-buffer hit
+costs ``t_cas``, a conflict adds precharge + activate.
+
+The model is *reservation-based* rather than event-based: ``access``
+immediately computes the access's completion time given current bank
+state, and the caller schedules its own completion event.  This keeps the
+event count (and hence Python runtime) low while preserving per-bank
+queueing behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import LINE_SIZE, DRAMConfig
+
+
+class _Bank:
+    __slots__ = ("busy_until", "open_row")
+
+    def __init__(self) -> None:
+        self.busy_until = 0
+        self.open_row = -1
+
+
+class DRAM:
+    """Channel/rank/bank DRAM with open-row policy."""
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+        self._banks: List[_Bank] = [_Bank() for _ in range(config.total_banks)]
+        self._rows_per_bank_stride = config.row_size_bytes
+        self.accesses = 0
+        self.row_hits = 0
+        self.row_conflicts = 0
+        self.total_latency = 0
+        self.total_queue_delay = 0
+
+    def _map(self, address: int) -> tuple:
+        """Map a physical address to (bank index, row).
+
+        Low-order line bits pick the channel (striping consecutive lines
+        across channels), the next bits the bank, the rest the row —
+        a common baseline interleaving.
+        """
+        line = address // LINE_SIZE
+        cfg = self.config
+        channel = line % cfg.channels
+        banks_per_channel = cfg.ranks_per_channel * cfg.banks_per_rank
+        bank_in_channel = (line // cfg.channels) % banks_per_channel
+        bank_index = channel * banks_per_channel + bank_in_channel
+        row = address // (cfg.row_size_bytes * cfg.total_banks)
+        return bank_index, row
+
+    def access(self, address: int, now: int) -> int:
+        """Perform one read at ``address`` starting no earlier than ``now``.
+
+        Returns the absolute completion time.  Updates bank occupancy and
+        the open row, so issue order is service order within a bank.
+        """
+        if now < 0:
+            raise ValueError("time must be non-negative")
+        bank_index, row = self._map(address)
+        bank = self._banks[bank_index]
+        cfg = self.config
+
+        start = max(now, bank.busy_until)
+        if bank.open_row == row:
+            latency = cfg.t_cas
+            self.row_hits += 1
+        else:
+            latency = cfg.t_rp + cfg.t_rcd + cfg.t_cas
+            self.row_conflicts += 1
+            bank.open_row = row
+        done = start + latency
+        bank.busy_until = start + latency + cfg.t_burst
+
+        self.accesses += 1
+        self.total_latency += done - now
+        self.total_queue_delay += start - now
+        return done
+
+    @property
+    def average_latency(self) -> float:
+        return self.total_latency / self.accesses if self.accesses else 0.0
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "accesses": self.accesses,
+            "row_hits": self.row_hits,
+            "row_conflicts": self.row_conflicts,
+            "row_hit_rate": self.row_hit_rate,
+            "average_latency": self.average_latency,
+        }

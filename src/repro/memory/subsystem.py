@@ -1,0 +1,108 @@
+"""The data-side memory hierarchy: per-CU L1s → shared L2 → DRAM.
+
+Modern GPUs use physically-tagged caches, so a data access can only start
+after its address translation completes — this module is therefore always
+invoked with *physical* addresses, downstream of the MMU.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.config import LINE_SIZE, SystemConfig
+from repro.engine.simulator import Simulator
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.controller import QueuedMemoryController
+from repro.memory.dram import DRAM
+
+
+class MemorySubsystem:
+    """Glues caches and DRAM together behind two entry points.
+
+    ``data_access``
+        A coalesced lane access from a CU: L1 → L2 → DRAM, with a
+        completion callback.
+
+    ``page_table_access``
+        A page-table read from an IOMMU walker.  Walkers sit in the CPU
+        complex and read the page table from DRAM directly (they have the
+        PWCs instead of a slice of the data-cache hierarchy), so this
+        bypasses the GPU caches.
+    """
+
+    def __init__(self, simulator: Simulator, config: SystemConfig) -> None:
+        self._sim = simulator
+        self._config = config
+        self.l1_caches: List[SetAssociativeCache] = [
+            SetAssociativeCache(config.l1_cache, name=f"l1d[{cu}]")
+            for cu in range(config.gpu.num_cus)
+        ]
+        self.l2_cache = SetAssociativeCache(config.l2_cache, name="l2d")
+        if config.dram.controller == "reservation":
+            self.dram: Optional[DRAM] = DRAM(config.dram)
+            self.controller: Optional[QueuedMemoryController] = None
+        else:
+            self.dram = None
+            self.controller = QueuedMemoryController(
+                simulator, config.dram, policy=config.dram.controller
+            )
+        self.data_accesses = 0
+        self.page_table_reads = 0
+
+    def data_access(
+        self, cu_id: int, physical_address: int, on_complete: Callable[[], None]
+    ) -> None:
+        """Issue one coalesced data access; fires ``on_complete`` when done."""
+        self.data_accesses += 1
+        line = physical_address // LINE_SIZE
+        l1 = self.l1_caches[cu_id]
+        if l1.access(line):
+            self._sim.after(self._config.l1_cache.hit_latency, on_complete)
+            return
+        l2_latency = self._config.l1_cache.hit_latency + self._config.l2_cache.hit_latency
+        if self.l2_cache.access(line):
+            l1.fill(line)
+            self._sim.after(l2_latency, on_complete)
+            return
+        self.l2_cache.fill(line)
+        l1.fill(line)
+        if self.dram is not None:
+            done = self.dram.access(physical_address, self._sim.now + l2_latency)
+            self._sim.at(done, on_complete)
+        else:
+            assert self.controller is not None
+            self._sim.after(
+                l2_latency,
+                lambda: self.controller.read(physical_address, on_complete),
+            )
+
+    def page_table_read(
+        self, physical_address: int, on_complete: Callable[[], None]
+    ) -> None:
+        """One sequential page-table read; ``on_complete`` fires when done.
+
+        Walkers chain these: the next level's read is issued only from
+        the previous one's completion callback.
+        """
+        self.page_table_reads += 1
+        if self.dram is not None:
+            done = self.dram.access(physical_address, self._sim.now)
+            self._sim.at(done, on_complete)
+        else:
+            assert self.controller is not None
+            self.controller.read(physical_address, on_complete)
+
+    def stats(self) -> Dict[str, object]:
+        dram_stats = (
+            self.dram.stats() if self.dram is not None else self.controller.stats()
+        )
+        return {
+            "data_accesses": self.data_accesses,
+            "page_table_reads": self.page_table_reads,
+            "l1_hit_rate": (
+                sum(c.hits for c in self.l1_caches)
+                / max(1, sum(c.accesses for c in self.l1_caches))
+            ),
+            "l2": self.l2_cache.stats(),
+            "dram": dram_stats,
+        }

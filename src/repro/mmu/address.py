@@ -1,0 +1,60 @@
+"""Virtual-address arithmetic for a 4-level x86-64-style page table.
+
+A 48-bit virtual address breaks down as::
+
+    47            39 38            30 29            21 20            12 11        0
+    +---------------+---------------+---------------+---------------+-----------+
+    | level-4 index | level-3 index | level-2 index | level-1 index |  offset   |
+    +---------------+---------------+---------------+---------------+-----------+
+
+Level 4 is the root (PML4), level 1 holds the leaf PTEs.  Each level is
+indexed by 9 bits, so each table has 512 entries of 8 bytes (one 4 KB
+page per table node).
+"""
+
+from __future__ import annotations
+
+from repro.config import BITS_PER_LEVEL, PAGE_SIZE, PAGE_TABLE_LEVELS
+
+PAGE_SHIFT = PAGE_SIZE.bit_length() - 1  # 12
+LEVEL_MASK = (1 << BITS_PER_LEVEL) - 1  # 0x1FF
+PTE_SIZE = 8
+VPN_BITS = BITS_PER_LEVEL * PAGE_TABLE_LEVELS  # 36
+MAX_VPN = (1 << VPN_BITS) - 1
+
+
+def vpn_of(virtual_address: int) -> int:
+    """The virtual page number containing ``virtual_address``."""
+    if virtual_address < 0:
+        raise ValueError("virtual address must be non-negative")
+    return virtual_address >> PAGE_SHIFT
+
+
+def page_offset(virtual_address: int) -> int:
+    """Byte offset of ``virtual_address`` within its page."""
+    return virtual_address & (PAGE_SIZE - 1)
+
+
+def level_index(vpn: int, level: int) -> int:
+    """The radix-tree index used at page-table ``level`` (4 = root, 1 = leaf)."""
+    if not 1 <= level <= PAGE_TABLE_LEVELS:
+        raise ValueError(f"level must be 1..{PAGE_TABLE_LEVELS}, got {level}")
+    return (vpn >> (BITS_PER_LEVEL * (level - 1))) & LEVEL_MASK
+
+
+def vpn_prefix(vpn: int, level: int) -> int:
+    """The VPN bits that select the page-table node *entry* at ``level``.
+
+    Two VPNs that share a prefix at level ``n`` are mapped by the same
+    level-``n`` entry, so a page-walk-cache hit at level ``n`` for one of
+    them serves the other too.  The prefix for level 4 is the level-4
+    index alone; for level 2 it is the top three indices, etc.
+    """
+    if not 1 <= level <= PAGE_TABLE_LEVELS:
+        raise ValueError(f"level must be 1..{PAGE_TABLE_LEVELS}, got {level}")
+    return vpn >> (BITS_PER_LEVEL * (level - 1))
+
+
+def pte_address(node_base: int, index: int) -> int:
+    """Physical address of entry ``index`` within the table page at ``node_base``."""
+    return node_base + index * PTE_SIZE

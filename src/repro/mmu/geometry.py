@@ -1,0 +1,102 @@
+"""Translation geometry: base (4 KB) vs large (2 MB) pages.
+
+The paper's §VI discusses — and dismisses — large pages as a fix for
+translation overheads.  To let the repository test that argument, every
+translation-path component is parameterised by a
+:class:`PageGeometry`: the mapping unit's size, and which radix level of
+the x86-64 page table holds its leaf entry.
+
+=============  ===========  ==========  ==============================
+Geometry       Page size    Leaf level  Full walk (PWC miss)
+=============  ===========  ==========  ==============================
+``BASE_4K``    4 KB         1           4 memory accesses
+``LARGE_2M``   2 MB         2           3 memory accesses
+=============  ===========  ==========  ==============================
+
+Throughout the MMU, a "vpn" is a *unit number* in this geometry: for
+``LARGE_2M`` it identifies a 2 MB region (the 4 KB vpn shifted right by
+9 bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import BITS_PER_LEVEL, PAGE_TABLE_LEVELS
+
+LEVEL_MASK = (1 << BITS_PER_LEVEL) - 1
+
+
+@dataclass(frozen=True)
+class PageGeometry:
+    """Size and page-table depth of one translation unit."""
+
+    name: str
+    #: log2 of the unit size (12 → 4 KB, 21 → 2 MB).
+    page_shift: int
+    #: Radix level whose entry maps the unit (1 = PT leaf, 2 = PD leaf).
+    leaf_level: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.leaf_level < PAGE_TABLE_LEVELS:
+            raise ValueError("leaf level must be 1..3")
+
+    @property
+    def page_size(self) -> int:
+        return 1 << self.page_shift
+
+    @property
+    def walk_levels(self) -> int:
+        """Memory accesses for a full (PWC-miss) walk."""
+        return PAGE_TABLE_LEVELS - self.leaf_level + 1
+
+    def vpn(self, virtual_address: int) -> int:
+        """The unit number containing ``virtual_address``."""
+        if virtual_address < 0:
+            raise ValueError("virtual address must be non-negative")
+        return virtual_address >> self.page_shift
+
+    def offset(self, virtual_address: int) -> int:
+        """Byte offset of the address within its unit."""
+        return virtual_address & (self.page_size - 1)
+
+    def frame_base(self, pfn: int) -> int:
+        """Physical base address of frame ``pfn`` (a unit-sized frame)."""
+        return pfn << self.page_shift
+
+    def level_index(self, vpn: int, level: int) -> int:
+        """Radix index used at ``level`` when walking for this unit."""
+        if not self.leaf_level <= level <= PAGE_TABLE_LEVELS:
+            raise ValueError(
+                f"level must be {self.leaf_level}..{PAGE_TABLE_LEVELS}"
+            )
+        return (vpn >> (BITS_PER_LEVEL * (level - self.leaf_level))) & LEVEL_MASK
+
+    def vpn_prefix(self, vpn: int, level: int) -> int:
+        """The unit-number bits shared by all units under one ``level`` entry."""
+        if not self.leaf_level <= level <= PAGE_TABLE_LEVELS:
+            raise ValueError(
+                f"level must be {self.leaf_level}..{PAGE_TABLE_LEVELS}"
+            )
+        return vpn >> (BITS_PER_LEVEL * (level - self.leaf_level))
+
+    @property
+    def pwc_levels(self) -> tuple:
+        """Upper levels the page walk caches may cache (root-first)."""
+        return tuple(range(PAGE_TABLE_LEVELS, self.leaf_level, -1))
+
+
+BASE_4K = PageGeometry(name="4K", page_shift=12, leaf_level=1)
+LARGE_2M = PageGeometry(name="2M", page_shift=21, leaf_level=2)
+
+_BY_NAME = {"4K": BASE_4K, "2M": LARGE_2M}
+
+
+def geometry_by_name(name: str) -> PageGeometry:
+    """Resolve ``"4K"`` / ``"2M"`` to a geometry."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown page size {name!r}; one of {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,357 @@
+"""The IOMMU: the CPU-complex component that services GPU translation needs.
+
+Follows the paper's §II-B structure: two small TLB levels, a pending-walk
+buffer, a pool of independent page-table walkers, page walk caches — and,
+the paper's contribution, a pluggable scheduler that picks which pending
+walk a freed walker services next.
+
+Life of a request inside the IOMMU (paper steps 5–9):
+
+5. Look up the IOMMU L1 then L2 TLB; a hit replies immediately.
+6. On a miss the request becomes (or coalesces onto) a pending walk in
+   the IOMMU buffer.  If the scheduler needs scores, the request is
+   scored against the PWCs (action 1-a) and its instruction's aggregate
+   score updated (1-b).
+7. An idle walker takes a new arrival directly; otherwise the scheduler
+   selects among buffered walks whenever a walker frees up (2-a).
+8. The walker probes the PWCs and performs the remaining 1–4 sequential
+   page-table reads (2-b).
+9. The leaf translation fills the IOMMU TLBs and is returned to the GPU.
+
+When the buffer is full, arrivals wait in a FIFO overflow queue — the
+scheduler's lookahead is exactly the buffer capacity (Fig 14 sweeps it).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.config import IOMMUConfig
+from repro.core.buffer import PendingWalkBuffer
+from repro.core.request import (
+    PREFETCH_WAVEFRONT,
+    TranslationRequest,
+    WalkBufferEntry,
+)
+from repro.core.schedulers import WalkScheduler, make_scheduler
+from repro.engine.simulator import Simulator
+from repro.mmu.geometry import BASE_4K, PageGeometry
+from repro.mmu.page_table import PageTable
+from repro.mmu.pwc import PageWalkCache
+from repro.mmu.tlb import TLB
+from repro.mmu.walker import PageTableWalker
+
+
+class IOMMU:
+    """Services GPU TLB misses by walking the shared x86-64 page table."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        config: IOMMUConfig,
+        page_table: PageTable,
+        page_table_read: Callable[[int, Callable[[], None]], None],
+        scheduler: Optional[WalkScheduler] = None,
+        geometry: PageGeometry = BASE_4K,
+    ) -> None:
+        self._sim = simulator
+        self.config = config
+        self._page_table = page_table
+        self.geometry = geometry
+        self.l1_tlb = TLB(config.l1_tlb, name="iommu_l1_tlb")
+        self.l2_tlb = TLB(config.l2_tlb, name="iommu_l2_tlb")
+        self.pwc = PageWalkCache(config.pwc, geometry=geometry)
+        self.buffer = PendingWalkBuffer(config.buffer_entries)
+        self.scheduler = scheduler or make_scheduler(
+            config.scheduler,
+            seed=config.scheduler_seed,
+            aging_threshold=config.aging_threshold,
+        )
+        self.walkers: List[PageTableWalker] = [
+            PageTableWalker(i, simulator, page_table, self.pwc, page_table_read)
+            for i in range(config.num_walkers)
+        ]
+        self._overflow: Deque[TranslationRequest] = deque()
+        self._scan_in_progress = False
+        #: Walks currently being serviced by a walker, keyed by VPN (a
+        #: list: same-page walks from different instructions may be in
+        #: flight concurrently when coalescing is disabled).
+        self._walking: Dict[int, List[WalkBufferEntry]] = {}
+        self._dispatch_seq = 0
+
+        # Statistics.
+        self.requests = 0
+        self.tlb_hits = 0
+        self.walks_dispatched = 0
+        self.overflow_peak = 0
+        self.coalesced_inflight = 0
+        self.prefetch_walks = 0
+        #: Walk latency breakdown: cycles spent queued in the buffer vs
+        #: being serviced by a walker (demand walks only).
+        self.total_queue_wait = 0
+        self.total_service_time = 0
+        #: instruction_id -> list of walker-dispatch sequence numbers, for
+        #: the interleaving metric (paper Fig 5).
+        self.dispatches_by_instruction: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Request entry point
+    # ------------------------------------------------------------------
+
+    def translate(self, request: TranslationRequest) -> None:
+        """Handle a translation request arriving from the GPU (step 5)."""
+        self.requests += 1
+        request.iommu_arrival_time = self._sim.now
+
+        pfn = self.l1_tlb.lookup(request.vpn)
+        if pfn is None:
+            pfn = self.l2_tlb.lookup(request.vpn)
+            if pfn is not None:
+                self.l1_tlb.insert(request.vpn, pfn)
+        if pfn is not None:
+            self.tlb_hits += 1
+            self._sim.after(
+                self.config.tlb_hit_latency,
+                lambda: self._reply(request, pfn, walk_accesses=0),
+            )
+            return
+        self._handle_tlb_miss(request)
+
+    def _handle_tlb_miss(self, request: TranslationRequest) -> None:
+        if self._try_coalesce(request):
+            return
+        # A new walk is needed.  An idle walker takes it immediately
+        # (which implies the buffer is empty — walkers never idle while
+        # work is buffered).
+        idle = self._idle_walker()
+        if idle is not None:
+            entry = WalkBufferEntry(
+                request, arrival_seq=-1, arrival_time=self._sim.now
+            )
+            if self.scheduler.needs_scores:
+                # Keep the instruction's aggregate score complete even
+                # for walks that bypass the buffer.
+                self.buffer.account_direct_dispatch(
+                    entry.instruction_id, self.pwc.estimate_accesses(request.vpn)
+                )
+            self._dispatch(idle, entry)
+            return
+        if self.buffer.is_full:
+            self._overflow.append(request)
+            self.overflow_peak = max(self.overflow_peak, len(self._overflow))
+            return
+        self._buffer_request(request)
+
+    def _try_coalesce(self, request: TranslationRequest) -> bool:
+        """MSHR-style merge with an in-flight or pending same-page walk.
+
+        An optional extension beyond the paper's design (see
+        ``IOMMUConfig.coalesce_walks``).  Returns True when merged.
+        """
+        mode = self.config.coalesce_walks
+        if mode == "off":
+            return False
+        walking = self._walking.get(request.vpn)
+        if walking:
+            walking[0].attach(request)
+            self.coalesced_inflight += 1
+            return True
+        if mode == "full":
+            pending = self.buffer.find_by_vpn(request.vpn)
+            if pending is not None:
+                self.buffer.attach(pending, request)
+                return True
+        return False
+
+    def _buffer_request(self, request: TranslationRequest) -> None:
+        estimate = 0
+        if self.scheduler.needs_scores:
+            estimate = self.pwc.estimate_accesses(request.vpn)
+        entry = self.buffer.add(
+            request, arrival_time=self._sim.now, estimated_accesses=estimate
+        )
+        self.scheduler.on_arrival(entry, self.buffer)
+
+    # ------------------------------------------------------------------
+    # Walker management
+    # ------------------------------------------------------------------
+
+    def _idle_walker(self) -> Optional[PageTableWalker]:
+        for walker in self.walkers:
+            if not walker.is_busy:
+                return walker
+        return None
+
+    def _dispatch(self, walker: PageTableWalker, entry: WalkBufferEntry) -> None:
+        entry.dispatch_time = self._sim.now
+        entry.dispatch_seq = self._dispatch_seq
+        self._dispatch_seq += 1
+        if entry.is_prefetch:
+            self.prefetch_walks += 1
+        else:
+            self.walks_dispatched += 1
+            self.dispatches_by_instruction.setdefault(
+                entry.instruction_id, []
+            ).append(entry.dispatch_seq)
+            if entry.arrival_seq == -1:
+                # Direct dispatch bypassed the scheduler; let it observe
+                # the instruction for batching continuity.
+                self.scheduler.note_dispatch(entry)
+        self._walking.setdefault(entry.vpn, []).append(entry)
+        walker.start(entry, self._walk_complete)
+
+    def _walk_complete(
+        self, walker: PageTableWalker, entry: WalkBufferEntry, pfn: int, accesses: int
+    ) -> None:
+        in_flight = self._walking[entry.vpn]
+        in_flight.remove(entry)
+        if not in_flight:
+            del self._walking[entry.vpn]
+        if self.scheduler.needs_scores and not entry.is_prefetch:
+            self.buffer.complete_walk(entry.instruction_id)
+        if not entry.is_prefetch and entry.dispatch_time is not None:
+            self.total_queue_wait += entry.dispatch_time - entry.arrival_time
+            self.total_service_time += self._sim.now - entry.dispatch_time
+        self.l2_tlb.insert(entry.vpn, pfn)
+        if entry.is_prefetch:
+            # Prefetched translations stay in the (larger) L2 TLB until
+            # demanded.  Demand requests that coalesced onto the prefetch
+            # while it was in flight still get their replies.
+            for request in entry.requests[1:]:
+                self._reply(request, pfn, walk_accesses=accesses)
+            self._drain_overflow()
+            self._schedule_next()
+            return
+        self.l1_tlb.insert(entry.vpn, pfn)
+        for request in entry.requests:
+            self._reply(request, pfn, walk_accesses=accesses)
+        self._drain_overflow()
+        self._schedule_next()
+        if self.config.prefetch_next_page:
+            self._maybe_prefetch(entry.vpn + 1)
+
+    def _drain_overflow(self) -> None:
+        """Move overflowed requests into freed buffer slots (FIFO)."""
+        while self._overflow and not self.buffer.is_full:
+            request = self._overflow.popleft()
+            # Re-run the coalescing check: the landscape may have changed
+            # while the request sat in the overflow queue.
+            if self._try_coalesce(request):
+                continue
+            self._buffer_request(request)
+
+    def _schedule_next(self) -> None:
+        """Hand pending walks to idle walkers via the scheduler (2-a).
+
+        When ``scan_latency_cycles`` is non-zero, each selection occupies
+        the scheduler for that long before its walk dispatches (the
+        hardware scan of the pending buffer).
+        """
+        scan_latency = (
+            self.config.scan_latency_cycles if self.scheduler.requires_scan else 0
+        )
+        while not self.buffer.is_empty:
+            walker = self._idle_walker()
+            if walker is None:
+                return
+            if scan_latency > 0:
+                if self._scan_in_progress:
+                    return
+                self._scan_in_progress = True
+                self._sim.after(scan_latency, self._finish_scan)
+                return
+            entry = self.scheduler.select(self.buffer)
+            if entry is None:
+                return
+            self.buffer.remove(entry)
+            self._dispatch(walker, entry)
+            self._drain_overflow()
+
+    def _finish_scan(self) -> None:
+        """Complete one delayed scheduler scan and dispatch its pick."""
+        self._scan_in_progress = False
+        walker = self._idle_walker()
+        if walker is None or self.buffer.is_empty:
+            return
+        entry = self.scheduler.select(self.buffer)
+        if entry is None:
+            return
+        self.buffer.remove(entry)
+        self._dispatch(walker, entry)
+        self._drain_overflow()
+        self._schedule_next()
+
+    def _maybe_prefetch(self, vpn: int) -> None:
+        """Walk ``vpn`` opportunistically on an idle walker (extension).
+
+        Demand traffic always wins: a prefetch is issued only when no
+        pending demand walk exists and a walker would otherwise idle.
+        """
+        walker = self._idle_walker()
+        if walker is None or not self.buffer.is_empty or self._overflow:
+            return
+        if vpn in self._walking or self.buffer.find_by_vpn(vpn) is not None:
+            return
+        if self.l2_tlb.probe(vpn) or self.l1_tlb.probe(vpn):
+            return
+        request = TranslationRequest(
+            vpn=vpn,
+            instruction_id=0,
+            wavefront_id=PREFETCH_WAVEFRONT,
+            cu_id=-1,
+            issue_time=self._sim.now,
+        )
+        entry = WalkBufferEntry(request, arrival_seq=-1, arrival_time=self._sim.now)
+        self._dispatch(walker, entry)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def _reply(self, request: TranslationRequest, pfn: int, walk_accesses: int) -> None:
+        request.walk_accesses = walk_accesses
+        if request.on_complete is not None:
+            request.on_complete(request, pfn)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def interleaved_instruction_fraction(self) -> float:
+        """Fraction of multi-walk instructions whose walk dispatches were
+        interleaved with dispatches from other instructions (Fig 5)."""
+        interleaved = 0
+        eligible = 0
+        for seqs in self.dispatches_by_instruction.values():
+            if len(seqs) < 2:
+                continue
+            eligible += 1
+            if max(seqs) - min(seqs) + 1 > len(seqs):
+                interleaved += 1
+        return interleaved / eligible if eligible else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "tlb_hits": self.tlb_hits,
+            "walks_dispatched": self.walks_dispatched,
+            "interleaved_fraction": self.interleaved_instruction_fraction(),
+            "l1_tlb": self.l1_tlb.stats(),
+            "l2_tlb": self.l2_tlb.stats(),
+            "pwc": self.pwc.stats(),
+            "buffer_peak": self.buffer.peak_occupancy,
+            "overflow_peak": self.overflow_peak,
+            "coalesced": self.buffer.total_coalesced + self.coalesced_inflight,
+            "prefetch_walks": self.prefetch_walks,
+            "avg_queue_wait": (
+                self.total_queue_wait / self.walks_dispatched
+                if self.walks_dispatched
+                else 0.0
+            ),
+            "avg_walk_service": (
+                self.total_service_time / self.walks_dispatched
+                if self.walks_dispatched
+                else 0.0
+            ),
+        }

@@ -1,0 +1,187 @@
+"""Page walk caches (PWCs) with the paper's 2-bit saturating counters.
+
+The IOMMU keeps one small cache per *upper* page-table level (levels 4,
+3 and 2 of the four-level table; level 1 holds the leaf PTEs which are
+what TLBs cache).  A PWC entry at level *n* caches the physical address
+of the level-(n-1) table, letting the walker skip the accesses above it:
+
+===========================  =================================
+Deepest PWC hit              Memory accesses left for the walk
+===========================  =================================
+level 2 (PD entry cached)    1  (leaf PTE only)
+level 3 (PDPT entry cached)  2
+level 4 (PML4 entry cached)  3
+complete miss                4
+===========================  =================================
+
+Section IV of the paper adds a 2-bit saturating counter to every PWC
+entry.  When a newly-arrived walk request is *scored* against the PWC
+(action 1-a), the counters of the entries it hit are incremented; when a
+*scheduled* walk later hits those entries (action 2-b), they are
+decremented.  A non-zero counter therefore means "some pending request
+was promised this entry" and the replacement policy refuses to victimise
+such entries unless the whole set is pinned.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+from repro.config import PAGE_TABLE_LEVELS, PWCConfig
+from repro.mmu.geometry import BASE_4K, PageGeometry
+
+#: Page-table levels the PWC caches under the default 4 KB geometry
+#: (the leaf level is the TLB's job).  With 2 MB pages only levels 4
+#: and 3 are cached — level 2 holds the leaves.
+CACHED_LEVELS: Tuple[int, ...] = BASE_4K.pwc_levels
+
+
+class _Entry:
+    __slots__ = ("counter",)
+
+    def __init__(self) -> None:
+        self.counter = 0
+
+
+class _LevelCache:
+    """One per-level set-associative cache with counter-guarded LRU."""
+
+    def __init__(self, config: PWCConfig) -> None:
+        self._ways = config.associativity
+        self._num_sets = config.entries_per_level // config.associativity
+        self._sets: List["OrderedDict[int, _Entry]"] = [
+            OrderedDict() for _ in range(self._num_sets)
+        ]
+        self._counter_max = (1 << config.counter_bits) - 1
+        self._guard = config.counter_guard
+        self.hits = 0
+        self.misses = 0
+        self.guarded_evictions_avoided = 0
+
+    def _set_for(self, tag: int) -> "OrderedDict[int, _Entry]":
+        return self._sets[tag % self._num_sets]
+
+    def probe(self, tag: int) -> bool:
+        entries = self._set_for(tag)
+        if tag in entries:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def touch(self, tag: int) -> None:
+        entries = self._set_for(tag)
+        if tag in entries:
+            entries.move_to_end(tag)
+
+    def bump_counter(self, tag: int, delta: int) -> None:
+        entries = self._set_for(tag)
+        entry = entries.get(tag)
+        if entry is None:
+            return
+        entry.counter = max(0, min(self._counter_max, entry.counter + delta))
+
+    def insert(self, tag: int) -> None:
+        entries = self._set_for(tag)
+        if tag in entries:
+            entries.move_to_end(tag)
+            return
+        if len(entries) >= self._ways:
+            self._evict(entries)
+        entries[tag] = _Entry()
+
+    def _evict(self, entries: "OrderedDict[int, _Entry]") -> None:
+        if self._guard:
+            # Victimise the LRU entry whose counter is zero; fall back to
+            # plain LRU when every entry in the set is pinned (paper §IV).
+            for tag, entry in entries.items():
+                if entry.counter == 0:
+                    del entries[tag]
+                    return
+            self.guarded_evictions_avoided += 1
+        entries.popitem(last=False)
+
+
+class PageWalkCache:
+    """The bundle of per-level page walk caches."""
+
+    def __init__(self, config: PWCConfig, geometry: PageGeometry = BASE_4K) -> None:
+        self.config = config
+        self.geometry = geometry
+        self._cached_levels = geometry.pwc_levels
+        self._levels: Dict[int, _LevelCache] = {
+            level: _LevelCache(config) for level in self._cached_levels
+        }
+
+    def _deepest_hit(self, vpn: int, count_stats: bool) -> int:
+        """Deepest cached level for ``vpn``; 0 when nothing is cached.
+
+        Probes from the deepest cached level up to the root — a hit at
+        level *n* implies the walker needs no level above *n*.
+        """
+        for level in reversed(self._cached_levels):
+            cache = self._levels[level]
+            tag = self.geometry.vpn_prefix(vpn, level)
+            present = tag in cache._set_for(tag)
+            if count_stats:
+                if present:
+                    cache.hits += 1
+                else:
+                    cache.misses += 1
+            if present:
+                return level
+        return 0
+
+    def accesses_for_hit_level(self, level: int) -> int:
+        """Memory accesses a walk needs given the deepest PWC hit level."""
+        if level == 0:
+            return self.geometry.walk_levels
+        return level - self.geometry.leaf_level
+
+    def estimate_accesses(self, vpn: int) -> int:
+        """Score probe (action 1-a): estimate accesses and pin hit entries.
+
+        Increments the 2-bit counters of every entry at or below the
+        deepest hit (the entries the estimate relies on).
+        """
+        level = self._deepest_hit(vpn, count_stats=True)
+        if level:
+            for pinned in range(level, PAGE_TABLE_LEVELS + 1):
+                self._levels[pinned].bump_counter(
+                    self.geometry.vpn_prefix(vpn, pinned), +1
+                )
+        return self.accesses_for_hit_level(level)
+
+    def peek_accesses(self, vpn: int) -> int:
+        """Estimate accesses without touching counters or stats."""
+        return self.accesses_for_hit_level(self._deepest_hit(vpn, count_stats=False))
+
+    def walk_lookup(self, vpn: int) -> int:
+        """Walker lookup (action 2-b): returns accesses needed; unpins entries.
+
+        Decrements the counters this walk had incremented at scoring time
+        and refreshes LRU position of hit entries.
+        """
+        level = self._deepest_hit(vpn, count_stats=True)
+        if level:
+            for pinned in range(level, PAGE_TABLE_LEVELS + 1):
+                tag = self.geometry.vpn_prefix(vpn, pinned)
+                self._levels[pinned].bump_counter(tag, -1)
+                self._levels[pinned].touch(tag)
+        return self.accesses_for_hit_level(level)
+
+    def fill(self, vpn: int) -> None:
+        """Install the upper-level entries discovered by a completed walk."""
+        for level in self._cached_levels:
+            self._levels[level].insert(self.geometry.vpn_prefix(vpn, level))
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {
+            f"level{level}": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "guarded_evictions_avoided": cache.guarded_evictions_avoided,
+            }
+            for level, cache in self._levels.items()
+        }

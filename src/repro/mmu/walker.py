@@ -1,0 +1,93 @@
+"""Hardware page-table walker model.
+
+A walker services one walk at a time: it looks up the page walk caches
+to find the deepest cached level, then performs the remaining one to four
+*sequential* page-table reads (each level's entry holds the address of
+the next level's table, so the reads cannot overlap).  On completion it
+installs the discovered upper-level entries into the PWCs and hands the
+leaf translation back to the IOMMU.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.request import WalkBufferEntry
+from repro.engine.simulator import Simulator
+from repro.mmu.page_table import PageTable
+from repro.mmu.pwc import PageWalkCache
+
+#: ``on_complete(walker, entry, pfn, accesses)``
+WalkCompletion = Callable[["PageTableWalker", WalkBufferEntry, int, int], None]
+
+
+class PageTableWalker:
+    """One independent walker in the IOMMU's walker pool."""
+
+    def __init__(
+        self,
+        walker_id: int,
+        simulator: Simulator,
+        page_table: PageTable,
+        pwc: PageWalkCache,
+        page_table_read: Callable[[int, Callable[[], None]], None],
+    ) -> None:
+        self.walker_id = walker_id
+        self._sim = simulator
+        self._page_table = page_table
+        self._pwc = pwc
+        self._page_table_read = page_table_read
+        self._current: Optional[WalkBufferEntry] = None
+        self.walks_completed = 0
+        self.memory_accesses = 0
+        self.busy_cycles = 0
+        self._walk_start = 0
+
+    @property
+    def is_busy(self) -> bool:
+        return self._current is not None
+
+    @property
+    def current_entry(self) -> Optional[WalkBufferEntry]:
+        return self._current
+
+    def start(self, entry: WalkBufferEntry, on_complete: WalkCompletion) -> None:
+        """Begin walking for ``entry``; ``on_complete`` fires when done."""
+        if self._current is not None:
+            raise RuntimeError(f"walker {self.walker_id} is already busy")
+        self._current = entry
+        self._walk_start = self._sim.now
+
+        accesses_needed = self._pwc.walk_lookup(entry.vpn)
+        # The full root-to-leaf address list; a PWC hit skips the upper
+        # levels, leaving only the deepest `accesses_needed` reads.
+        path = self._page_table.walk_addresses(entry.vpn)
+        remaining = [address for _, address in path[-accesses_needed:]]
+        self._issue_next(entry, remaining, accesses_needed, on_complete)
+
+    def _issue_next(
+        self,
+        entry: WalkBufferEntry,
+        remaining: list,
+        total_accesses: int,
+        on_complete: WalkCompletion,
+    ) -> None:
+        if not remaining:
+            self._finish(entry, total_accesses, on_complete)
+            return
+        address = remaining[0]
+        self.memory_accesses += 1
+        self._page_table_read(
+            address,
+            lambda: self._issue_next(entry, remaining[1:], total_accesses, on_complete),
+        )
+
+    def _finish(
+        self, entry: WalkBufferEntry, accesses: int, on_complete: WalkCompletion
+    ) -> None:
+        pfn = self._page_table.translate(entry.vpn)
+        self._pwc.fill(entry.vpn)
+        self.walks_completed += 1
+        self.busy_cycles += self._sim.now - self._walk_start
+        self._current = None
+        on_complete(self, entry, pfn, accesses)

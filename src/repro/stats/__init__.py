@@ -1,0 +1,19 @@
+"""Statistics: counters, histograms and derived per-run metrics."""
+
+from repro.stats.counters import BucketHistogram
+from repro.stats.metrics import (
+    FIG3_BUCKETS,
+    SimulationResult,
+    geometric_mean,
+    instruction_walk_histogram,
+    latency_gap_stats,
+)
+
+__all__ = [
+    "FIG3_BUCKETS",
+    "BucketHistogram",
+    "SimulationResult",
+    "geometric_mean",
+    "instruction_walk_histogram",
+    "latency_gap_stats",
+]

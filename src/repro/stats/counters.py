@@ -1,0 +1,48 @@
+"""Small statistics helpers: bucketed histograms."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+class BucketHistogram:
+    """Counts samples into labelled, inclusive integer ranges.
+
+    Used for the paper's Fig 3 ("number of memory accesses for page
+    walks per instruction", buckets 1-16, 17-32, ... 81-256).
+    """
+
+    def __init__(self, buckets: Sequence[Tuple[int, int]]) -> None:
+        if not buckets:
+            raise ValueError("at least one bucket is required")
+        for low, high in buckets:
+            if low > high:
+                raise ValueError(f"bucket ({low}, {high}) is inverted")
+        self._buckets = list(buckets)
+        self._counts = [0] * len(buckets)
+        self.total = 0
+        self.out_of_range = 0
+
+    def add(self, value: int) -> None:
+        """Record one sample."""
+        self.total += 1
+        for index, (low, high) in enumerate(self._buckets):
+            if low <= value <= high:
+                self._counts[index] += 1
+                return
+        self.out_of_range += 1
+
+    def counts(self) -> List[int]:
+        return list(self._counts)
+
+    def fractions(self) -> List[float]:
+        """Per-bucket fraction of all recorded samples."""
+        if self.total == 0:
+            return [0.0] * len(self._buckets)
+        return [count / self.total for count in self._counts]
+
+    def labels(self) -> List[str]:
+        return [f"{low}-{high}" for low, high in self._buckets]
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(zip(self.labels(), self.fractions()))

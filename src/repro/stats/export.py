@@ -1,0 +1,87 @@
+"""Result export and distribution helpers.
+
+``SimulationResult`` objects flatten to plain dictionaries / JSON so
+experiment campaigns can be archived and post-processed outside Python
+(the benchmark harness stores one JSON per regenerated figure when asked
+to).  ``percentiles`` summarises latency distributions without pulling
+in numpy for the common case.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.stats.metrics import SimulationResult
+
+
+def percentiles(
+    samples: Iterable[float], points: Sequence[float] = (50, 90, 99)
+) -> Dict[float, float]:
+    """Empirical percentiles by linear interpolation.
+
+    Raises :class:`ValueError` on an empty sample set or out-of-range
+    points.
+    """
+    values = sorted(samples)
+    if not values:
+        raise ValueError("percentiles of an empty sample set")
+    out: Dict[float, float] = {}
+    last = len(values) - 1
+    for point in points:
+        if not 0 <= point <= 100:
+            raise ValueError(f"percentile {point} outside 0..100")
+        position = point / 100 * last
+        low = int(position)
+        high = min(low + 1, last)
+        fraction = position - low
+        out[point] = values[low] * (1 - fraction) + values[high] * fraction
+    return out
+
+
+def walk_latency_percentiles(
+    records, points: Sequence[float] = (50, 90, 99)
+) -> Dict[float, float]:
+    """Percentiles of every IOMMU-serviced walk latency in a run."""
+    samples: List[int] = []
+    for record in records:
+        samples.extend(record.walk_latencies)
+    if not samples:
+        return {point: 0.0 for point in points}
+    return percentiles(samples, points)
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, object]:
+    """Flatten a result to JSON-serialisable primitives."""
+    data = asdict(result)
+    data["latency_gap"] = result.latency_gap
+    return data
+
+
+def save_results(
+    results: Union[SimulationResult, Sequence[SimulationResult]],
+    path: Union[str, Path],
+) -> None:
+    """Write one or more results to ``path`` as a JSON document."""
+    if isinstance(results, SimulationResult):
+        results = [results]
+    document = {
+        "format": "repro-results",
+        "version": 1,
+        "results": [result_to_dict(result) for result in results],
+    }
+    Path(path).write_text(json.dumps(document, indent=2, default=str))
+
+
+def load_results(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Read a results document written by :func:`save_results`.
+
+    Returns plain dictionaries (not :class:`SimulationResult` objects):
+    archived results are data for analysis, not live objects.
+    """
+    document = json.loads(Path(path).read_text())
+    if document.get("format") != "repro-results":
+        raise ValueError(f"{path} is not a repro-results file")
+    return list(document["results"])

@@ -1,0 +1,120 @@
+"""Derived, per-run metrics matching the paper's reported quantities."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.stats.counters import BucketHistogram
+
+#: Fig 3's x-axis buckets: memory accesses for page walks per instruction.
+FIG3_BUCKETS: Tuple[Tuple[int, int], ...] = (
+    (1, 16),
+    (17, 32),
+    (33, 48),
+    (49, 64),
+    (65, 80),
+    (81, 256),
+)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """The geometric mean (the paper's average for speedups)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def instruction_walk_histogram(records) -> BucketHistogram:
+    """Fig 3: bucket instructions by their total page-walk memory accesses.
+
+    Instructions that required no page-table walk are excluded, as in the
+    paper ("we excluded instructions that did not request any page table
+    walks").
+    """
+    histogram = BucketHistogram(FIG3_BUCKETS)
+    for record in records:
+        if record.walk_accesses > 0:
+            histogram.add(record.walk_accesses)
+    return histogram
+
+
+def latency_gap_stats(records) -> Tuple[float, float]:
+    """Fig 6/10: mean latency of the first- and last-completed walk.
+
+    Only instructions with at least two IOMMU-serviced walks are eligible
+    (a single walk cannot interleave with itself).  Returns
+    ``(mean_first, mean_last)`` in cycles; ``(0, 0)`` when no instruction
+    qualifies.
+    """
+    first_total = 0
+    last_total = 0
+    count = 0
+    for record in records:
+        latencies = record.walk_latencies
+        if len(latencies) < 2:
+            continue
+        first_total += min(latencies)
+        last_total += max(latencies)
+        count += 1
+    if count == 0:
+        return 0.0, 0.0
+    return first_total / count, last_total / count
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run reports.
+
+    The experiment harness compares these across schedulers to regenerate
+    the paper's figures.
+    """
+
+    workload: str
+    scheduler: str
+    total_cycles: int
+    instructions: int
+    wavefronts: int
+    #: Sum of per-CU execution-stage stall cycles (Fig 9).
+    stall_cycles: int
+    #: Page-table walks dispatched to walkers (Fig 11 — TLB miss count).
+    walks_dispatched: int
+    #: Total page-table memory reads performed by walkers.
+    walk_memory_accesses: int
+    #: Fraction of multi-walk instructions with interleaved dispatch (Fig 5).
+    interleaved_fraction: float
+    #: Mean latency of first-completed walk per multi-walk instruction (Fig 6).
+    first_walk_latency: float
+    #: Mean latency of last-completed walk per multi-walk instruction (Fig 6).
+    last_walk_latency: float
+    #: Mean distinct wavefronts touching the GPU L2 TLB per epoch (Fig 12).
+    wavefronts_per_epoch: float
+    #: Fig 3 histogram: fraction of instructions per walk-work bucket.
+    walk_work_fractions: List[float] = field(default_factory=list)
+    #: Raw component statistics for drill-down (TLB/PWC/DRAM/cache rates).
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def latency_gap(self) -> float:
+        """Mean last-minus-first walk latency per instruction (Fig 10)."""
+        return self.last_walk_latency - self.first_walk_latency
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Speedup of this run relative to ``baseline`` (cycles ratio)."""
+        if self.total_cycles <= 0:
+            raise ValueError("run has no cycles")
+        return baseline.total_cycles / self.total_cycles
+
+    def summary(self) -> str:
+        """A one-line human-readable digest."""
+        return (
+            f"{self.workload:>4s}/{self.scheduler:<6s} "
+            f"cycles={self.total_cycles:>12,d} "
+            f"walks={self.walks_dispatched:>8,d} "
+            f"stall={self.stall_cycles:>12,d} "
+            f"interleaved={self.interleaved_fraction:5.1%}"
+        )

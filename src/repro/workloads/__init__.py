@@ -1,0 +1,29 @@
+"""Synthetic GPU workload generators modelling the paper's benchmarks.
+
+The paper runs twelve unmodified OpenCL/HCC applications on gem5
+(Table II).  We cannot execute OpenCL here, so each benchmark is modelled
+by a generator that emits the memory-access *trace* its GPU kernels
+produce: per-wavefront sequences of SIMD memory instructions with the
+benchmark's characteristic divergence, footprint and reuse pattern.
+See DESIGN.md §2 for the substitution argument.
+"""
+
+from repro.workloads.base import MemoryRegion, VirtualAddressSpace, Workload
+from repro.workloads.registry import (
+    IRREGULAR_WORKLOADS,
+    REGULAR_WORKLOADS,
+    all_workloads,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "IRREGULAR_WORKLOADS",
+    "MemoryRegion",
+    "REGULAR_WORKLOADS",
+    "VirtualAddressSpace",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "workload_names",
+]

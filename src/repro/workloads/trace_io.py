@@ -1,0 +1,91 @@
+"""Trace serialisation: save and reload generated instruction traces.
+
+Traces are what the simulator actually consumes (the generators are just
+convenient factories), so persisting them enables (a) byte-identical
+re-runs across machines and library versions, (b) sharing inputs between
+collaborators without sharing generator code, and (c) feeding the
+simulator traces captured elsewhere.
+
+Format: a compact JSON envelope with delta-encoded addresses::
+
+    {"format": "repro-trace", "version": 1,
+     "meta": {...},
+     "wavefronts": [[[base, delta, delta, ...], ...], ...]}
+
+Each instruction stores its first lane address followed by lane-to-lane
+deltas, which keeps coalesced instructions (deltas of 4 or 8) small on
+disk while remaining human-inspectable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.workloads.base import Trace
+
+FORMAT_NAME = "repro-trace"
+FORMAT_VERSION = 1
+
+
+def _encode_instruction(addresses: List[int]) -> List[int]:
+    if not addresses:
+        return []
+    encoded = [addresses[0]]
+    previous = addresses[0]
+    for address in addresses[1:]:
+        encoded.append(address - previous)
+        previous = address
+    return encoded
+
+
+def _decode_instruction(encoded: List[int]) -> List[int]:
+    if not encoded:
+        return []
+    addresses = [encoded[0]]
+    for delta in encoded[1:]:
+        addresses.append(addresses[-1] + delta)
+    return addresses
+
+
+def save_trace(
+    trace: Trace,
+    path: Union[str, Path],
+    meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write ``trace`` to ``path`` as versioned JSON."""
+    document = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "meta": meta or {},
+        "wavefronts": [
+            [_encode_instruction(instruction) for instruction in stream]
+            for stream in trace
+        ],
+    }
+    Path(path).write_text(json.dumps(document, separators=(",", ":")))
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    document = json.loads(Path(path).read_text())
+    if document.get("format") != FORMAT_NAME:
+        raise ValueError(f"{path} is not a {FORMAT_NAME} file")
+    if document.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace version {document.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return [
+        [_decode_instruction(instruction) for instruction in stream]
+        for stream in document["wavefronts"]
+    ]
+
+
+def load_meta(path: Union[str, Path]) -> Dict[str, object]:
+    """Read only the metadata block of a saved trace."""
+    document = json.loads(Path(path).read_text())
+    if document.get("format") != FORMAT_NAME:
+        raise ValueError(f"{path} is not a {FORMAT_NAME} file")
+    return dict(document.get("meta", {}))

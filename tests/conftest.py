@@ -1,0 +1,50 @@
+"""Shared fixtures: small, fast system configurations for tests."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    DRAMConfig,
+    GPUConfig,
+    IOMMUConfig,
+    PWCConfig,
+    SystemConfig,
+    TLBConfig,
+)
+
+
+def tiny_config(scheduler: str = "fcfs") -> SystemConfig:
+    """A scaled-down machine that keeps integration tests fast.
+
+    4 CUs, 2 wavefront slots each, small TLBs/caches, 4 walkers.
+    """
+    return SystemConfig(
+        gpu=GPUConfig(num_cus=4, wavefront_slots_per_cu=2),
+        l1_cache=CacheConfig(size_bytes=8 * 1024, associativity=4, hit_latency=4),
+        l2_cache=CacheConfig(size_bytes=256 * 1024, associativity=8, hit_latency=30),
+        gpu_l1_tlb=TLBConfig(entries=16),
+        gpu_l2_tlb=TLBConfig(entries=128, associativity=8, hit_latency=10),
+        iommu=IOMMUConfig(
+            buffer_entries=64,
+            num_walkers=4,
+            l1_tlb=TLBConfig(entries=16),
+            l2_tlb=TLBConfig(entries=64, associativity=8),
+            pwc=PWCConfig(entries_per_level=8, associativity=4),
+            scheduler=scheduler,
+        ),
+        dram=DRAMConfig(channels=1, ranks_per_channel=1, banks_per_rank=8),
+    )
+
+
+@pytest.fixture
+def config():
+    return tiny_config()
+
+
+@pytest.fixture
+def simt_config():
+    return tiny_config("simt")

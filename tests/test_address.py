@@ -1,0 +1,78 @@
+"""Unit tests for virtual-address arithmetic."""
+
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.mmu.address import (
+    MAX_VPN,
+    PAGE_SHIFT,
+    PTE_SIZE,
+    level_index,
+    page_offset,
+    pte_address,
+    vpn_of,
+    vpn_prefix,
+)
+
+
+def test_page_shift_matches_page_size():
+    assert 1 << PAGE_SHIFT == PAGE_SIZE
+
+
+def test_vpn_of_page_boundaries():
+    assert vpn_of(0) == 0
+    assert vpn_of(PAGE_SIZE - 1) == 0
+    assert vpn_of(PAGE_SIZE) == 1
+    assert vpn_of(10 * PAGE_SIZE + 123) == 10
+
+
+def test_vpn_of_rejects_negative():
+    with pytest.raises(ValueError):
+        vpn_of(-1)
+
+
+def test_page_offset():
+    assert page_offset(0) == 0
+    assert page_offset(PAGE_SIZE + 17) == 17
+    assert page_offset(PAGE_SIZE - 1) == PAGE_SIZE - 1
+
+
+def test_level_index_extracts_nine_bit_fields():
+    # vpn with distinct 9-bit fields: level1=1, level2=2, level3=3, level4=4.
+    vpn = 1 | (2 << 9) | (3 << 18) | (4 << 27)
+    assert level_index(vpn, 1) == 1
+    assert level_index(vpn, 2) == 2
+    assert level_index(vpn, 3) == 3
+    assert level_index(vpn, 4) == 4
+
+
+def test_level_index_bounds():
+    with pytest.raises(ValueError):
+        level_index(0, 0)
+    with pytest.raises(ValueError):
+        level_index(0, 5)
+
+
+def test_vpn_prefix_sharing():
+    # Two vpns in the same 2 MB region share the level-2 prefix but not
+    # the full vpn.
+    a, b = 0x12345, 0x12345 ^ 0x1  # differ only in level-1 index bits
+    assert vpn_prefix(a, 2) == vpn_prefix(b, 2)
+    assert vpn_prefix(a, 1) != vpn_prefix(b, 1)
+
+
+def test_vpn_prefix_level_4_is_coarsest():
+    vpn = MAX_VPN
+    assert vpn_prefix(vpn, 4) == vpn >> 27
+    assert vpn_prefix(vpn, 1) == vpn
+
+
+def test_vpn_prefix_bounds():
+    with pytest.raises(ValueError):
+        vpn_prefix(0, 5)
+
+
+def test_pte_address_layout():
+    assert pte_address(0x1000, 0) == 0x1000
+    assert pte_address(0x1000, 1) == 0x1000 + PTE_SIZE
+    assert pte_address(0x1000, 511) == 0x1000 + 511 * PTE_SIZE

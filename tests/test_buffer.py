@@ -1,0 +1,129 @@
+"""Unit tests for the IOMMU pending-walk buffer."""
+
+import pytest
+
+from repro.core.buffer import PendingWalkBuffer
+from repro.core.request import TranslationRequest
+
+
+def make_request(vpn=1, instruction_id=1):
+    return TranslationRequest(
+        vpn=vpn, instruction_id=instruction_id, wavefront_id=0, cu_id=0, issue_time=0
+    )
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        PendingWalkBuffer(0)
+
+
+def test_add_and_len():
+    buffer = PendingWalkBuffer(4)
+    buffer.add(make_request(vpn=1), arrival_time=0)
+    buffer.add(make_request(vpn=2), arrival_time=1)
+    assert len(buffer) == 2
+    assert not buffer.is_empty
+    assert not buffer.is_full
+
+
+def test_overflow_raises():
+    buffer = PendingWalkBuffer(1)
+    buffer.add(make_request(vpn=1), arrival_time=0)
+    assert buffer.is_full
+    with pytest.raises(OverflowError):
+        buffer.add(make_request(vpn=2), arrival_time=1)
+
+
+def test_iteration_in_arrival_order():
+    buffer = PendingWalkBuffer(8)
+    for vpn in (5, 3, 9):
+        buffer.add(make_request(vpn=vpn), arrival_time=0)
+    assert [entry.vpn for entry in buffer] == [5, 3, 9]
+
+
+def test_oldest():
+    buffer = PendingWalkBuffer(8)
+    assert buffer.oldest() is None
+    first = buffer.add(make_request(vpn=1), arrival_time=0)
+    buffer.add(make_request(vpn=2), arrival_time=1)
+    assert buffer.oldest() is first
+
+
+def test_oldest_for_instruction():
+    buffer = PendingWalkBuffer(8)
+    buffer.add(make_request(vpn=1, instruction_id=1), arrival_time=0)
+    target = buffer.add(make_request(vpn=2, instruction_id=2), arrival_time=1)
+    buffer.add(make_request(vpn=3, instruction_id=2), arrival_time=2)
+    assert buffer.oldest_for_instruction(2) is target
+    assert buffer.oldest_for_instruction(99) is None
+
+
+def test_duplicate_vpn_entries_are_legal():
+    buffer = PendingWalkBuffer(8)
+    a = buffer.add(make_request(vpn=7, instruction_id=1), arrival_time=0)
+    b = buffer.add(make_request(vpn=7, instruction_id=2), arrival_time=1)
+    assert buffer.find_by_vpn(7) is a
+    buffer.remove(a)
+    assert buffer.find_by_vpn(7) is b
+    buffer.remove(b)
+    assert buffer.find_by_vpn(7) is None
+
+
+def test_remove_frees_capacity():
+    buffer = PendingWalkBuffer(1)
+    entry = buffer.add(make_request(vpn=1), arrival_time=0)
+    buffer.remove(entry)
+    assert buffer.is_empty
+    buffer.add(make_request(vpn=2), arrival_time=1)  # no overflow
+
+
+def test_remove_unknown_entry_raises():
+    buffer = PendingWalkBuffer(2)
+    entry = buffer.add(make_request(vpn=1), arrival_time=0)
+    buffer.remove(entry)
+    with pytest.raises(KeyError):
+        buffer.remove(entry)
+
+
+def test_scores_accumulate_per_instruction():
+    buffer = PendingWalkBuffer(8)
+    a = buffer.add(make_request(vpn=1, instruction_id=1), 0, estimated_accesses=4)
+    b = buffer.add(make_request(vpn=2, instruction_id=1), 0, estimated_accesses=3)
+    assert buffer.score_of(a) == 7
+    assert buffer.score_of(b) == 7
+
+
+def test_score_persists_until_walk_completes():
+    buffer = PendingWalkBuffer(8)
+    a = buffer.add(make_request(vpn=1, instruction_id=1), 0, estimated_accesses=4)
+    b = buffer.add(make_request(vpn=2, instruction_id=1), 0, estimated_accesses=2)
+    buffer.remove(a)  # dispatched, still in flight
+    assert buffer.score_of(b) == 6
+    buffer.complete_walk(1)
+    assert buffer.score_of(b) == 6  # one walk still active
+    buffer.remove(b)
+    buffer.complete_walk(1)  # last walk done: score released
+
+
+def test_attach_does_not_change_score():
+    buffer = PendingWalkBuffer(8)
+    entry = buffer.add(make_request(vpn=1, instruction_id=1), 0, estimated_accesses=4)
+    buffer.attach(entry, make_request(vpn=1, instruction_id=2))
+    assert buffer.score_of(entry) == 4
+    assert buffer.total_coalesced == 1
+
+
+def test_direct_dispatch_accounting():
+    buffer = PendingWalkBuffer(8)
+    buffer.account_direct_dispatch(5, 4)
+    entry = buffer.add(make_request(vpn=9, instruction_id=5), 0, estimated_accesses=1)
+    assert buffer.score_of(entry) == 5
+
+
+def test_peak_occupancy_tracked():
+    buffer = PendingWalkBuffer(4)
+    entries = [buffer.add(make_request(vpn=v), 0) for v in range(3)]
+    for entry in entries:
+        buffer.remove(entry)
+    assert buffer.peak_occupancy == 3
+    assert buffer.total_insertions == 3

@@ -1,0 +1,77 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "MVT" in out
+    assert "simt" in out
+
+
+def test_run_command_small(capsys):
+    code = main(
+        ["run", "kmn", "--scale", "0.05", "--wavefronts", "4", "--scheduler", "simt"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "KMN" in out and "simt" in out
+
+
+def test_compare_command_small(capsys):
+    code = main(
+        [
+            "compare",
+            "kmn",
+            "--schedulers",
+            "fcfs,simt",
+            "--scale",
+            "0.05",
+            "--wavefronts",
+            "4",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "speedup=" in out
+
+
+def test_figure_table1(capsys):
+    assert main(["figure", "table1"]) == 0
+    assert "Table I" in capsys.readouterr().out
+
+
+def test_figure_unknown_name(capsys):
+    assert main(["figure", "fig99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_figure_small_run(capsys):
+    code = main(["figure", "fig5", "--scale", "0.05", "--wavefronts", "4"])
+    assert code == 0
+    assert "Fig 5" in capsys.readouterr().out
+
+
+def test_run_with_config_file(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "machine.json"
+    path.write_text(json.dumps({"iommu": {"scheduler": "simt"}}))
+    code = main(
+        ["run", "kmn", "--config", str(path), "--scale", "0.05", "--wavefronts", "4"]
+    )
+    assert code == 0
+    assert "simt" in capsys.readouterr().out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_rejects_unknown_scheduler():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "MVT", "--scheduler", "bogus"])

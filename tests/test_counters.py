@@ -1,0 +1,58 @@
+"""Unit tests for the bucketed histogram."""
+
+import pytest
+
+from repro.stats.counters import BucketHistogram
+from repro.stats.metrics import FIG3_BUCKETS
+
+
+def test_requires_buckets():
+    with pytest.raises(ValueError):
+        BucketHistogram([])
+
+
+def test_rejects_inverted_bucket():
+    with pytest.raises(ValueError):
+        BucketHistogram([(10, 5)])
+
+
+def test_samples_land_in_their_bucket():
+    histogram = BucketHistogram([(1, 10), (11, 20)])
+    histogram.add(5)
+    histogram.add(11)
+    histogram.add(20)
+    assert histogram.counts() == [1, 2]
+
+
+def test_bucket_bounds_are_inclusive():
+    histogram = BucketHistogram([(1, 10)])
+    histogram.add(1)
+    histogram.add(10)
+    assert histogram.counts() == [2]
+
+
+def test_out_of_range_tracked():
+    histogram = BucketHistogram([(1, 10)])
+    histogram.add(0)
+    histogram.add(11)
+    assert histogram.out_of_range == 2
+    assert histogram.counts() == [0]
+
+
+def test_fractions_sum_to_one_when_in_range():
+    histogram = BucketHistogram(FIG3_BUCKETS)
+    for value in (1, 20, 40, 60, 70, 100, 256):
+        histogram.add(value)
+    assert sum(histogram.fractions()) == pytest.approx(1.0)
+
+
+def test_fractions_empty():
+    histogram = BucketHistogram([(1, 10)])
+    assert histogram.fractions() == [0.0]
+
+
+def test_labels_and_dict():
+    histogram = BucketHistogram([(1, 16), (17, 32)])
+    histogram.add(2)
+    assert histogram.labels() == ["1-16", "17-32"]
+    assert histogram.as_dict()["1-16"] == 1.0

@@ -1,0 +1,65 @@
+"""Unit tests for the event queue: ordering, stability, errors."""
+
+import pytest
+
+from repro.engine.event_queue import EventQueue
+
+
+def test_empty_queue_is_falsy():
+    queue = EventQueue()
+    assert not queue
+    assert len(queue) == 0
+
+
+def test_push_pop_single_event():
+    queue = EventQueue()
+    queue.push(5, lambda: "a")
+    time, seq, callback = queue.pop()
+    assert time == 5
+    assert callback() == "a"
+
+
+def test_events_pop_in_time_order():
+    queue = EventQueue()
+    queue.push(30, lambda: "late")
+    queue.push(10, lambda: "early")
+    queue.push(20, lambda: "middle")
+    times = [queue.pop()[0] for _ in range(3)]
+    assert times == [10, 20, 30]
+
+
+def test_same_time_events_are_fifo():
+    queue = EventQueue()
+    order = []
+    for tag in ("first", "second", "third"):
+        queue.push(7, lambda tag=tag: order.append(tag))
+    while queue:
+        queue.pop()[2]()
+    assert order == ["first", "second", "third"]
+
+
+def test_peek_time_returns_earliest():
+    queue = EventQueue()
+    queue.push(42, lambda: None)
+    queue.push(17, lambda: None)
+    assert queue.peek_time() == 17
+    assert len(queue) == 2  # peek does not consume
+
+
+def test_peek_time_on_empty_raises():
+    with pytest.raises(IndexError):
+        EventQueue().peek_time()
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        EventQueue().push(-1, lambda: None)
+
+
+def test_len_tracks_pushes_and_pops():
+    queue = EventQueue()
+    for i in range(10):
+        queue.push(i, lambda: None)
+    assert len(queue) == 10
+    queue.pop()
+    assert len(queue) == 9

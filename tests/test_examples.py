@@ -1,0 +1,39 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least parse and expose a ``main``; the cheapest
+one is executed end-to-end so a broken public API surfaces here.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath("examples").glob("*.py")
+)
+
+
+def load_example(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    module = load_example(path)
+    assert callable(getattr(module, "main", None)), path.name
+
+
+def test_quickstart_runs_fast_mode(monkeypatch, capsys):
+    quickstart = load_example(
+        pathlib.Path(__file__).resolve().parent.parent / "examples" / "quickstart.py"
+    )
+    monkeypatch.setattr(sys, "argv", ["quickstart.py", "KMN", "--fast"])
+    quickstart.main()
+    out = capsys.readouterr().out
+    assert "Speedup (SIMT-aware over FCFS)" in out
+    assert "KMN" in out

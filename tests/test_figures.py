@@ -1,0 +1,122 @@
+"""Smoke tests for the figure harness (tiny scale to stay fast).
+
+These verify each figure function's *shape* — keys, normalisation,
+completeness — not the paper's magnitudes (the benchmark harness under
+``benchmarks/`` is responsible for those).
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.workloads.registry import IRREGULAR_WORKLOADS, REGULAR_WORKLOADS
+
+#: Very small run parameters shared by every smoke test.
+TINY = dict(scale=0.05, num_wavefronts=4)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    figures.clear_run_cache()
+    yield
+
+
+def test_fig2_shape():
+    data = figures.fig2_scheduler_impact(**TINY)
+    assert set(data) == set(figures.MOTIVATION_WORKLOADS)
+    for row in data.values():
+        assert row["random"] == pytest.approx(1.0)
+        assert set(row) == {"random", "fcfs", "simt"}
+
+
+def test_fig3_fractions_are_distributions():
+    data = figures.fig3_walk_work_distribution(**TINY)
+    for workload, row in data.items():
+        total = sum(row.values())
+        assert 0.0 <= total <= 1.0 + 1e-9, workload
+        assert set(row) == {"1-16", "17-32", "33-48", "49-64", "65-80", "81-256"}
+
+
+def test_fig5_fractions_bounded():
+    data = figures.fig5_interleaving(**TINY)
+    for value in data.values():
+        assert 0.0 <= value <= 1.0
+
+
+def test_fig6_normalised_to_first():
+    data = figures.fig6_first_last_latency(**TINY)
+    for row in data.values():
+        assert row["first_completed"] == 1.0
+        assert row["last_completed"] >= 1.0
+
+
+def test_fig8_includes_every_workload_and_means(subtests=None):
+    data = figures.fig8_speedup(**TINY)
+    for workload in IRREGULAR_WORKLOADS + REGULAR_WORKLOADS:
+        assert workload in data
+    assert "Mean(irregular)" in data
+    assert "Mean(regular)" in data
+
+
+def test_fig8_subset_of_workloads():
+    data = figures.fig8_speedup(workloads=("MVT",), **TINY)
+    assert "MVT" in data
+    assert "Mean(irregular)" in data
+    assert "Mean(regular)" not in data
+
+
+def test_fig9_normalised_stalls_positive():
+    data = figures.fig9_stall_cycles(workloads=("MVT", "KMN"), **TINY)
+    assert all(value > 0 for value in data.values())
+
+
+def test_fig10_and_fig11_have_means():
+    gap = figures.fig10_latency_gap(workloads=("MVT", "ATX"), **TINY)
+    walks = figures.fig11_walk_count(workloads=("MVT", "ATX"), **TINY)
+    assert "Mean" in gap and "Mean" in walks
+
+
+def test_fig12_epoch_ratios_positive():
+    data = figures.fig12_active_wavefronts(workloads=("MVT",), **TINY)
+    assert data["MVT"] > 0
+
+
+def test_fig13_variants():
+    data = figures.fig13_sensitivity("a_1024tlb_8walkers", workloads=("MVT",), **TINY)
+    assert "MVT" in data and "Mean" in data
+    with pytest.raises(ValueError):
+        figures.fig13_sensitivity("bogus", **TINY)
+
+
+def test_fig14_buffer_sweep():
+    data = figures.fig14_buffer_size(32, workloads=("MVT",), **TINY)
+    assert data["MVT"] > 0
+    with pytest.raises(ValueError):
+        figures.fig14_buffer_size(0, **TINY)
+
+
+def test_run_cache_reuses_results():
+    figures.fig5_interleaving(**TINY)
+    info_before = figures._run.cache_info()
+    figures.fig5_interleaving(**TINY)
+    info_after = figures._run.cache_info()
+    assert info_after.hits > info_before.hits
+    assert info_after.misses == info_before.misses
+
+
+def test_table1_matches_paper_rows():
+    table = figures.table1_configuration()
+    assert table["L1 TLB"] == "32 entries, Fully-associative"
+    assert "512 entries" in table["L2 TLB"]
+    assert "8 page table walkers" in table["IOMMU"]
+    assert "DDR3-1600" in table["DRAM"]
+    assert "2GHz, 8 CUs" in table["GPU"]
+
+
+def test_table2_lists_twelve_benchmarks():
+    rows = figures.table2_workloads(scale=0.05)
+    assert len(rows) == 12
+    assert {row["abbrev"] for row in rows} == set(
+        IRREGULAR_WORKLOADS + REGULAR_WORKLOADS
+    )
+    for row in rows:
+        assert row["modelled_footprint_mb"] > 0

@@ -1,0 +1,101 @@
+"""Unit tests for derived metrics and SimulationResult."""
+
+import pytest
+
+from repro.gpu.wavefront import InstructionRecord
+from repro.stats.metrics import (
+    SimulationResult,
+    geometric_mean,
+    instruction_walk_histogram,
+    latency_gap_stats,
+)
+
+
+def record(walk_accesses=0, walk_latencies=()):
+    rec = InstructionRecord(instruction_id=0, wavefront_id=0, issue_time=0)
+    rec.walk_accesses = walk_accesses
+    rec.walk_latencies = list(walk_latencies)
+    return rec
+
+
+class TestGeometricMean:
+    def test_single_value(self):
+        assert geometric_mean([2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestWalkHistogram:
+    def test_zero_walk_instructions_excluded(self):
+        histogram = instruction_walk_histogram([record(0), record(5)])
+        assert histogram.total == 1
+
+    def test_bucketing_matches_fig3(self):
+        records = [record(1), record(16), record(17), record(256)]
+        histogram = instruction_walk_histogram(records)
+        assert histogram.counts() == [2, 1, 0, 0, 0, 1]
+
+
+class TestLatencyGap:
+    def test_requires_two_walks(self):
+        first, last = latency_gap_stats([record(4, [100])])
+        assert (first, last) == (0.0, 0.0)
+
+    def test_first_and_last_means(self):
+        records = [
+            record(8, [100, 300]),
+            record(8, [200, 400]),
+        ]
+        first, last = latency_gap_stats(records)
+        assert first == pytest.approx(150.0)
+        assert last == pytest.approx(350.0)
+
+    def test_min_max_within_instruction(self):
+        first, last = latency_gap_stats([record(8, [500, 100, 300])])
+        assert (first, last) == (100.0, 500.0)
+
+
+def make_result(cycles, **overrides):
+    defaults = dict(
+        workload="MVT",
+        scheduler="fcfs",
+        total_cycles=cycles,
+        instructions=10,
+        wavefronts=2,
+        stall_cycles=100,
+        walks_dispatched=50,
+        walk_memory_accesses=150,
+        interleaved_fraction=0.5,
+        first_walk_latency=100.0,
+        last_walk_latency=300.0,
+        wavefronts_per_epoch=8.0,
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestSimulationResult:
+    def test_speedup_over(self):
+        fast, slow = make_result(100), make_result(200)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+        assert slow.speedup_over(fast) == pytest.approx(0.5)
+
+    def test_speedup_requires_cycles(self):
+        with pytest.raises(ValueError):
+            make_result(0).speedup_over(make_result(100))
+
+    def test_latency_gap(self):
+        assert make_result(100).latency_gap == pytest.approx(200.0)
+
+    def test_summary_mentions_workload_and_scheduler(self):
+        text = make_result(100).summary()
+        assert "MVT" in text and "fcfs" in text

@@ -1,0 +1,69 @@
+"""Tests for the oracle-MMU (perfect translation) mode."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.experiments.runner import build_system, run_simulation
+from repro.workloads.synthetic import ParametricWorkload
+from tests.conftest import tiny_config
+
+
+def oracle_config():
+    return replace(tiny_config(), perfect_translation=True)
+
+
+def divergent_workload():
+    return ParametricWorkload(
+        pages_per_instruction=16,
+        instructions_per_wavefront=8,
+        footprint_mb=32.0,
+    )
+
+
+def test_oracle_run_performs_no_walks():
+    result = run_simulation(
+        divergent_workload(), config=oracle_config(), num_wavefronts=4
+    )
+    assert result.walks_dispatched == 0
+    assert result.detail["iommu"]["requests"] == 0
+
+
+def test_oracle_run_is_faster_on_divergent_work():
+    kwargs = dict(num_wavefronts=4)
+    real = run_simulation(divergent_workload(), config=tiny_config(), **kwargs)
+    ideal = run_simulation(divergent_workload(), config=oracle_config(), **kwargs)
+    assert ideal.total_cycles < real.total_cycles
+
+
+def test_oracle_translations_are_consistent():
+    # The same virtual page must map to the same frame for every access,
+    # or data accesses would scatter incoherently across DRAM.
+    system = build_system(oracle_config())
+    first = system.gpu.oracle_translate(0x123)
+    assert system.gpu.oracle_translate(0x123) == first
+    assert system.gpu.oracle_translate(0x124) != first
+
+
+def test_oracle_requires_attached_page_table():
+    from repro.engine.simulator import Simulator
+    from repro.gpu.gpu import GPU
+    from repro.memory.subsystem import MemorySubsystem
+    from repro.mmu.iommu import IOMMU
+    from repro.mmu.page_table import PageTable
+
+    config = oracle_config()
+    sim = Simulator()
+    memory = MemorySubsystem(sim, config)
+    iommu = IOMMU(sim, config.iommu, PageTable(), memory.page_table_read)
+    gpu = GPU(sim, config, memory, iommu)  # page_table NOT attached
+    with pytest.raises(RuntimeError):
+        gpu.oracle_translate(1)
+
+
+def test_oracle_data_still_flows_through_caches():
+    result = run_simulation(
+        divergent_workload(), config=oracle_config(), num_wavefronts=4
+    )
+    assert result.detail["memory"]["data_accesses"] > 0

@@ -1,0 +1,134 @@
+"""Unit tests for the page walk caches and their 2-bit counters."""
+
+from repro.config import PWCConfig
+from repro.mmu.pwc import PageWalkCache
+
+
+def make_pwc(entries=8, ways=4, guard=True):
+    return PageWalkCache(
+        PWCConfig(entries_per_level=entries, associativity=ways, counter_guard=guard)
+    )
+
+
+class TestWalkEstimates:
+    def test_cold_pwc_needs_full_walk(self):
+        pwc = make_pwc()
+        assert pwc.peek_accesses(0x12345) == 4
+
+    def test_fill_reduces_to_one_access(self):
+        pwc = make_pwc()
+        pwc.fill(0x12345)
+        assert pwc.peek_accesses(0x12345) == 1
+
+    def test_same_2mb_region_shares_level2_entry(self):
+        pwc = make_pwc()
+        pwc.fill(0x200)  # fills prefixes for the region
+        assert pwc.peek_accesses(0x201) == 1  # same level-2 region
+
+    def test_same_1gb_region_hits_level3(self):
+        pwc = make_pwc()
+        pwc.fill(0)
+        # Same level-3 prefix (bits ≥18 equal), different level-2 region.
+        other = 1 << 9
+        assert pwc.peek_accesses(other) == 2
+
+    def test_same_512gb_region_hits_level4(self):
+        pwc = make_pwc()
+        pwc.fill(0)
+        other = 1 << 18  # same level-4 index only
+        assert pwc.peek_accesses(other) == 3
+
+    def test_unrelated_vpn_still_misses(self):
+        pwc = make_pwc()
+        pwc.fill(0)
+        assert pwc.peek_accesses(1 << 27) == 4
+
+    def test_accesses_for_hit_level_mapping(self):
+        pwc = make_pwc()
+        assert pwc.accesses_for_hit_level(0) == 4
+        assert pwc.accesses_for_hit_level(4) == 3
+        assert pwc.accesses_for_hit_level(3) == 2
+        assert pwc.accesses_for_hit_level(2) == 1
+
+
+class TestEstimateVsWalkLookups:
+    def test_estimate_matches_peek(self):
+        pwc = make_pwc()
+        pwc.fill(0x400)
+        assert pwc.estimate_accesses(0x400) == pwc.peek_accesses(0x400)
+
+    def test_walk_lookup_matches_estimate_when_unchanged(self):
+        pwc = make_pwc()
+        pwc.fill(0x400)
+        estimate = pwc.estimate_accesses(0x400)
+        assert pwc.walk_lookup(0x400) == estimate
+
+
+class TestCounterGuard:
+    def test_scored_entry_survives_replacement_pressure(self):
+        # One set (ways == entries): fill with A, score it (pins), then
+        # insert enough new entries to evict everything unpinned.
+        # Regions differ at every page-table level (bit 27 stride).
+        pwc = make_pwc(entries=2, ways=2, guard=True)
+        a, b, c = 1 << 27, 2 << 27, 3 << 27
+        pwc.fill(a)
+        pwc.estimate_accesses(a)  # pin A's entries
+        # These fills target other tags and must victimise the unpinned.
+        pwc.fill(b)
+        pwc.fill(c)
+        assert pwc.peek_accesses(a) == 1  # A still cached
+
+    def test_unpinning_after_walk_lookup_allows_eviction(self):
+        pwc = make_pwc(entries=2, ways=2, guard=True)
+        vpn_a = 1 << 27
+        pwc.fill(vpn_a)
+        pwc.estimate_accesses(vpn_a)  # pin
+        pwc.walk_lookup(vpn_a)  # unpin (2-b)
+        pwc.fill(2 << 27)
+        pwc.fill(3 << 27)
+        assert pwc.peek_accesses(vpn_a) == 4  # evicted normally
+
+    def test_no_guard_evicts_pinned(self):
+        pwc = make_pwc(entries=2, ways=2, guard=False)
+        vpn_a = 1 << 27
+        pwc.fill(vpn_a)
+        pwc.estimate_accesses(vpn_a)
+        pwc.fill(2 << 27)
+        pwc.fill(3 << 27)
+        assert pwc.peek_accesses(vpn_a) == 4
+
+    def test_fully_pinned_set_falls_back_to_lru(self):
+        pwc = make_pwc(entries=2, ways=2, guard=True)
+        a, b, c = 1 << 27, 2 << 27, 3 << 27
+        pwc.fill(a)
+        pwc.fill(b)
+        pwc.estimate_accesses(a)
+        pwc.estimate_accesses(b)
+        pwc.fill(c)  # every entry pinned: plain LRU must still evict
+        stats = pwc.stats()
+        assert any(
+            level["guarded_evictions_avoided"] > 0 for level in stats.values()
+        )
+
+    def test_counters_saturate(self):
+        pwc = make_pwc(entries=2, ways=2, guard=True)
+        vpn = 1 << 27
+        pwc.fill(vpn)
+        for _ in range(10):  # increments saturate at 3
+            pwc.estimate_accesses(vpn)
+        for _ in range(10):  # decrements floor at 0
+            pwc.walk_lookup(vpn)
+        # After the flurry the entry must be evictable again.
+        pwc.fill(2 << 27)
+        pwc.fill(3 << 27)
+        assert pwc.peek_accesses(vpn) == 4
+
+
+class TestStats:
+    def test_stats_shape(self):
+        pwc = make_pwc()
+        pwc.estimate_accesses(123)
+        stats = pwc.stats()
+        assert set(stats) == {"level4", "level3", "level2"}
+        for level in stats.values():
+            assert {"hits", "misses", "guarded_evictions_avoided"} <= set(level)

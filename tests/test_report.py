@@ -1,0 +1,55 @@
+"""Unit tests for the text renderers."""
+
+from repro.experiments import figures, report
+
+
+def test_render_series_aligns_rows():
+    text = report.render_series("Fig X", {"MVT": 1.234, "ATX": 0.9})
+    assert "Fig X" in text
+    assert "MVT" in text and "1.234" in text
+
+
+def test_render_series_handles_long_keys():
+    text = report.render_series("T", {"Mean(irregular)": 1.3})
+    assert "Mean(irregular)" in text
+
+
+def test_render_series_bars_scale_to_peak():
+    text = report.render_series(
+        "T", {"a": 2.0, "b": 1.0}, bars=True, bar_width=10
+    )
+    rows = text.splitlines()[3:]
+    assert rows[0].count("█") == 10
+    assert rows[1].count("█") == 5
+
+
+def test_render_series_bars_handle_zero_peak():
+    text = report.render_series("T", {"a": 0.0}, bars=True)
+    assert "█" not in text
+
+
+def test_render_grouped_uses_columns():
+    data = {"MVT": {"fcfs": 1.0, "simt": 1.3}}
+    text = report.render_grouped("Fig", data, columns=("fcfs", "simt"))
+    assert "fcfs" in text and "simt" in text and "1.300" in text
+
+
+def test_render_grouped_empty():
+    assert "(no data)" in report.render_grouped("Fig", {})
+
+
+def test_render_grouped_infers_columns():
+    data = {"MVT": {"a": 1.0}}
+    assert "a" in report.render_grouped("Fig", data)
+
+
+def test_render_table1():
+    text = report.render_table1(figures.table1_configuration())
+    assert "Table I" in text
+    assert "IOMMU" in text
+
+
+def test_render_table2():
+    text = report.render_table2(figures.table2_workloads(scale=0.05))
+    assert "Table II" in text
+    assert "XSB" in text and "HOT" in text

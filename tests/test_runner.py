@@ -1,0 +1,90 @@
+"""Integration tests for the experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import build_system, compare_schedulers, run_simulation
+from repro.workloads.synthetic import ParametricWorkload
+from tests.conftest import tiny_config
+
+
+def tiny_workload(pages=8, seed=0):
+    return ParametricWorkload(
+        pages_per_instruction=pages,
+        instructions_per_wavefront=6,
+        footprint_mb=16.0,
+        scale=1.0,
+        seed=seed,
+    )
+
+
+class TestBuildSystem:
+    def test_components_wired(self):
+        system = build_system(tiny_config())
+        assert system.gpu.iommu is system.iommu
+        assert system.gpu.memory is system.memory
+        assert len(system.gpu.cus) == tiny_config().gpu.num_cus
+        assert len(system.iommu.walkers) == tiny_config().iommu.num_walkers
+
+    def test_default_config_is_baseline(self):
+        system = build_system()
+        assert system.config.iommu.scheduler == "fcfs"
+
+
+class TestRunSimulation:
+    def test_returns_populated_result(self):
+        result = run_simulation(
+            tiny_workload(), config=tiny_config(), num_wavefronts=4
+        )
+        assert result.workload == "SYN"
+        assert result.scheduler == "fcfs"
+        assert result.total_cycles > 0
+        assert result.instructions == 4 * 6
+        assert result.wavefronts == 4
+        assert result.walks_dispatched > 0
+        assert len(result.walk_work_fractions) == 6
+
+    def test_scheduler_override(self):
+        result = run_simulation(
+            tiny_workload(), config=tiny_config(), scheduler="simt", num_wavefronts=4
+        )
+        assert result.scheduler == "simt"
+
+    def test_workload_by_name(self):
+        result = run_simulation(
+            "KMN", config=tiny_config(), num_wavefronts=2, scale=0.1
+        )
+        assert result.workload == "KMN"
+
+    def test_deadlock_guard(self):
+        with pytest.raises(RuntimeError):
+            run_simulation(
+                tiny_workload(), config=tiny_config(), num_wavefronts=4, max_cycles=10
+            )
+
+    def test_deterministic(self):
+        kwargs = dict(config=tiny_config(), num_wavefronts=4)
+        a = run_simulation(tiny_workload(), **kwargs)
+        b = run_simulation(tiny_workload(), **kwargs)
+        assert a.total_cycles == b.total_cycles
+        assert a.walks_dispatched == b.walks_dispatched
+
+
+class TestCompareSchedulers:
+    def test_runs_every_policy(self):
+        results = compare_schedulers(
+            tiny_workload(),
+            schedulers=("fcfs", "random", "simt"),
+            config=tiny_config(),
+            num_wavefronts=4,
+        )
+        assert set(results) == {"fcfs", "random", "simt"}
+        assert all(r.total_cycles > 0 for r in results.values())
+
+    def test_same_workload_different_policies(self):
+        results = compare_schedulers(
+            tiny_workload(),
+            schedulers=("fcfs", "simt"),
+            config=tiny_config(),
+            num_wavefronts=4,
+        )
+        assert results["fcfs"].instructions == results["simt"].instructions

@@ -1,0 +1,77 @@
+"""Unit tests for the per-instruction score table."""
+
+import pytest
+
+from repro.core.scoring import ScoreTable
+
+
+def test_score_accumulates_per_instruction():
+    table = ScoreTable()
+    assert table.add(1, 4) == 4
+    assert table.add(1, 3) == 7
+    assert table.score_of(1) == 7
+
+
+def test_instructions_are_independent():
+    table = ScoreTable()
+    table.add(1, 4)
+    table.add(2, 1)
+    assert table.score_of(1) == 4
+    assert table.score_of(2) == 1
+
+
+def test_score_persists_across_partial_completion():
+    # The score must NOT drop while the instruction still has active
+    # walks — otherwise an instruction briefly looks like a short job
+    # every time its buffered requests drain (LIFO degeneration).
+    table = ScoreTable()
+    table.add(1, 4)
+    table.add(1, 4)
+    table.complete(1)
+    assert table.score_of(1) == 8
+
+
+def test_score_released_after_last_walk():
+    table = ScoreTable()
+    table.add(1, 4)
+    table.add(1, 2)
+    table.complete(1)
+    table.complete(1)
+    assert table.score_of(1) == 0
+    assert len(table) == 0
+
+
+def test_complete_unknown_instruction_raises():
+    with pytest.raises(KeyError):
+        ScoreTable().complete(99)
+
+
+def test_negative_estimate_rejected():
+    with pytest.raises(ValueError):
+        ScoreTable().add(1, -1)
+
+
+def test_active_walk_accounting():
+    table = ScoreTable()
+    table.add(1, 4)
+    table.add(1, 4)
+    assert table.active_walks(1) == 2
+    table.complete(1)
+    assert table.active_walks(1) == 1
+    assert table.active_walks(2) == 0
+
+
+def test_score_range_matches_paper():
+    # 64 workitems × 4 accesses each = 256, the paper's maximum score.
+    table = ScoreTable()
+    for _ in range(64):
+        table.add(7, 4)
+    assert table.score_of(7) == 256
+
+
+def test_reuse_of_id_after_release_starts_fresh():
+    table = ScoreTable()
+    table.add(1, 4)
+    table.complete(1)
+    table.add(1, 2)
+    assert table.score_of(1) == 2

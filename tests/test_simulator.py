@@ -1,0 +1,104 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.engine.simulator import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0
+
+
+def test_after_schedules_relative():
+    sim = Simulator()
+    fired = []
+    sim.after(10, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [10]
+    assert sim.now == 10
+
+
+def test_at_schedules_absolute():
+    sim = Simulator()
+    fired = []
+    sim.at(25, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [25]
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.after(10, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(5, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(ValueError):
+        Simulator().after(-1, lambda: None)
+
+
+def test_events_cascade():
+    sim = Simulator()
+    trace = []
+
+    def first():
+        trace.append(("first", sim.now))
+        sim.after(5, second)
+
+    def second():
+        trace.append(("second", sim.now))
+
+    sim.after(3, first)
+    sim.run()
+    assert trace == [("first", 3), ("second", 8)]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.after(10, lambda: fired.append("a"))
+    sim.after(100, lambda: fired.append("b"))
+    sim.run(until=50)
+    assert fired == ["a"]
+    assert sim.now == 50
+    assert sim.pending_events == 1
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_max_events_limits_work():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.after(i + 1, lambda i=i: fired.append(i))
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_step_fires_one_event():
+    sim = Simulator()
+    fired = []
+    sim.after(1, lambda: fired.append("x"))
+    assert sim.step() is True
+    assert fired == ["x"]
+    assert sim.step() is False
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.after(i, lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_same_cycle_events_fifo_order():
+    sim = Simulator()
+    order = []
+    sim.after(5, lambda: order.append(1))
+    sim.after(5, lambda: order.append(2))
+    sim.after(5, lambda: order.append(3))
+    sim.run()
+    assert order == [1, 2, 3]

@@ -1,0 +1,62 @@
+"""Tests for the seed-stability harness."""
+
+import pytest
+
+from repro.experiments.stability import StabilityReport, seed_stability
+from repro.workloads.synthetic import ParametricWorkload
+from tests.conftest import tiny_config
+
+
+class TestStabilityReport:
+    def test_mean_and_stdev(self):
+        report = StabilityReport("MVT", "simt", "fcfs", [1.0, 1.2, 1.4])
+        assert report.mean == pytest.approx(1.2)
+        assert report.stdev == pytest.approx(0.2)
+        assert report.spread == pytest.approx(0.4)
+
+    def test_single_sample_stdev_zero(self):
+        assert StabilityReport("X", "a", "b", [1.3]).stdev == 0.0
+
+    def test_consistent_direction(self):
+        assert StabilityReport("X", "a", "b", [1.1, 1.2]).consistent_direction()
+        assert StabilityReport("X", "a", "b", [0.8, 0.9]).consistent_direction()
+        assert not StabilityReport("X", "a", "b", [0.9, 1.1]).consistent_direction()
+
+    def test_summary_format(self):
+        text = StabilityReport("MVT", "simt", "fcfs", [1.0, 1.2]).summary()
+        assert "MVT" in text and "±" in text and "n=2" in text
+
+
+class TestSeedStability:
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            seed_stability("MVT", seeds=())
+
+    def test_runs_across_seeds(self):
+        workload_factory = lambda: ParametricWorkload(
+            pages_per_instruction=8,
+            instructions_per_wavefront=4,
+            footprint_mb=16.0,
+        )
+        report = seed_stability(
+            workload_factory(),
+            seeds=(0, 1),
+            config=tiny_config(),
+            num_wavefronts=4,
+            scale=1.0,
+        )
+        assert len(report.speedups) == 2
+        assert all(s > 0 for s in report.speedups)
+        assert report.workload == "SYN"
+
+    def test_seed_changes_trace(self):
+        # Different seeds must actually produce different runs.
+        report = seed_stability(
+            "XSB",
+            seeds=(0, 1),
+            config=tiny_config(),
+            num_wavefronts=4,
+            scale=0.05,
+        )
+        # Not identical to machine precision (different traces).
+        assert report.spread > 0 or report.stdev == 0.0

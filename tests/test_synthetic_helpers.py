@@ -1,0 +1,64 @@
+"""Tests for the access-pattern building blocks in workloads.synthetic."""
+
+import random
+
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.mmu.address import vpn_of
+from repro.workloads.base import VirtualAddressSpace
+from repro.workloads.synthetic import coalesced, random_lanes, row_strided
+
+
+@pytest.fixture
+def region():
+    space = VirtualAddressSpace()
+    return space.allocate("data", 8 * 1024 * 1024)
+
+
+def test_coalesced_addresses_are_consecutive(region):
+    addresses = coalesced(region, start_element=10, lanes=8, element_size=8)
+    assert addresses == [region.base + (10 + lane) * 8 for lane in range(8)]
+
+
+def test_coalesced_stays_on_few_pages(region):
+    addresses = coalesced(region, 0, 64, 8)
+    pages = {vpn_of(a) for a in addresses}
+    assert len(pages) <= 2  # 512 bytes never spans more than 2 pages
+
+
+def test_row_strided_hits_distinct_pages_for_big_rows(region):
+    row_elements = PAGE_SIZE  # 4096 × 8 B = 8 pages per row
+    addresses = row_strided(region, 0, row_elements, column=5, lanes=16)
+    pages = {vpn_of(a) for a in addresses}
+    assert len(pages) == 16
+
+
+def test_row_strided_column_offsets(region):
+    addresses = row_strided(region, 2, 1024, column=3, lanes=4)
+    assert addresses[0] == region.element(2 * 1024 + 3)
+    assert addresses[1] == region.element(3 * 1024 + 3)
+
+
+def test_row_strided_bounds_checked(region):
+    with pytest.raises(IndexError):
+        row_strided(region, 10_000_000, 1024, 0, 4)
+
+
+def test_random_lanes_within_region(region):
+    rng = random.Random(0)
+    addresses = random_lanes(region, rng, 64)
+    assert all(region.base <= a < region.end for a in addresses)
+
+
+def test_random_lanes_deterministic_per_seed(region):
+    assert random_lanes(region, random.Random(7), 16) == random_lanes(
+        region, random.Random(7), 16
+    )
+
+
+def test_random_lanes_spread_across_pages(region):
+    rng = random.Random(1)
+    addresses = random_lanes(region, rng, 64)
+    pages = {vpn_of(a) for a in addresses}
+    assert len(pages) > 32  # 2048-page region: collisions are rare

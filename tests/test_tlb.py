@@ -1,0 +1,119 @@
+"""Unit tests for the generic TLB model."""
+
+import pytest
+
+from repro.config import TLBConfig
+from repro.mmu.tlb import TLB
+
+
+def make_tlb(entries=4, associativity=None):
+    return TLB(TLBConfig(entries=entries, associativity=associativity))
+
+
+class TestBasicOperation:
+    def test_miss_on_empty(self):
+        tlb = make_tlb()
+        assert tlb.lookup(1) is None
+        assert tlb.misses == 1
+
+    def test_hit_after_insert(self):
+        tlb = make_tlb()
+        tlb.insert(1, 100)
+        assert tlb.lookup(1) == 100
+        assert tlb.hits == 1
+
+    def test_insert_updates_existing(self):
+        tlb = make_tlb()
+        tlb.insert(1, 100)
+        tlb.insert(1, 200)
+        assert tlb.lookup(1) == 200
+        assert tlb.occupancy == 1
+
+    def test_invalidate(self):
+        tlb = make_tlb()
+        tlb.insert(1, 100)
+        assert tlb.invalidate(1) is True
+        assert tlb.lookup(1) is None
+        assert tlb.invalidate(1) is False
+
+    def test_flush(self):
+        tlb = make_tlb()
+        for vpn in range(4):
+            tlb.insert(vpn, vpn + 100)
+        tlb.flush()
+        assert tlb.occupancy == 0
+
+    def test_probe_is_side_effect_free(self):
+        tlb = make_tlb()
+        tlb.insert(1, 100)
+        hits, misses = tlb.hits, tlb.misses
+        assert tlb.probe(1) is True
+        assert tlb.probe(2) is False
+        assert (tlb.hits, tlb.misses) == (hits, misses)
+
+
+class TestLRUReplacement:
+    def test_lru_victim_is_least_recent(self):
+        tlb = make_tlb(entries=2)
+        tlb.insert(1, 101)
+        tlb.insert(2, 102)
+        tlb.lookup(1)  # 2 is now LRU
+        tlb.insert(3, 103)
+        assert tlb.probe(2) is False
+        assert tlb.probe(1) and tlb.probe(3)
+        assert tlb.evictions == 1
+
+    def test_insert_refreshes_lru(self):
+        tlb = make_tlb(entries=2)
+        tlb.insert(1, 101)
+        tlb.insert(2, 102)
+        tlb.insert(1, 101)  # refresh
+        tlb.insert(3, 103)  # evicts 2
+        assert tlb.probe(1) is True
+        assert tlb.probe(2) is False
+
+
+class TestSetAssociativity:
+    def test_set_isolation(self):
+        # 4 entries, 2-way: two sets; even vpns map to set 0, odd to set 1.
+        tlb = make_tlb(entries=4, associativity=2)
+        tlb.insert(0, 100)
+        tlb.insert(2, 102)
+        tlb.insert(4, 104)  # evicts 0 (same set), not the odd set
+        tlb.insert(1, 101)
+        assert tlb.probe(0) is False
+        assert tlb.probe(2) and tlb.probe(4) and tlb.probe(1)
+
+    def test_fully_associative_uses_whole_capacity(self):
+        tlb = make_tlb(entries=4)
+        for vpn in (0, 4, 8, 12):  # would collide in a set-assoc design
+            tlb.insert(vpn, vpn)
+        assert tlb.occupancy == 4
+        assert all(tlb.probe(v) for v in (0, 4, 8, 12))
+
+    def test_occupancy_capped_at_entries(self):
+        tlb = make_tlb(entries=4, associativity=2)
+        for vpn in range(100):
+            tlb.insert(vpn, vpn)
+        assert tlb.occupancy <= 4
+
+
+class TestStatistics:
+    def test_hit_rate(self):
+        tlb = make_tlb()
+        tlb.insert(1, 100)
+        tlb.lookup(1)
+        tlb.lookup(2)
+        assert tlb.hit_rate == 0.5
+        assert tlb.accesses == 2
+
+    def test_hit_rate_empty(self):
+        assert make_tlb().hit_rate == 0.0
+
+    def test_stats_dict(self):
+        tlb = make_tlb()
+        tlb.insert(1, 100)
+        tlb.lookup(1)
+        stats = tlb.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 0

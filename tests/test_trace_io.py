@@ -1,0 +1,74 @@
+"""Tests for trace serialisation."""
+
+import json
+
+import pytest
+
+from repro.workloads.registry import get_workload
+from repro.workloads.trace_io import load_meta, load_trace, save_trace
+
+
+def test_round_trip_preserves_trace(tmp_path):
+    workload = get_workload("MVT", scale=0.05)
+    trace = workload.build_trace(num_wavefronts=2, wavefront_size=16)
+    path = tmp_path / "mvt.trace.json"
+    save_trace(trace, path, meta={"workload": "MVT", "seed": 0})
+    assert load_trace(path) == trace
+
+
+def test_meta_round_trip(tmp_path):
+    path = tmp_path / "t.json"
+    save_trace([[[1, 2, 3]]], path, meta={"workload": "SYN", "scale": 0.5})
+    meta = load_meta(path)
+    assert meta == {"workload": "SYN", "scale": 0.5}
+
+
+def test_empty_instruction_round_trips(tmp_path):
+    path = tmp_path / "t.json"
+    save_trace([[[]]], path)
+    assert load_trace(path) == [[[]]]
+
+
+def test_delta_encoding_is_compact(tmp_path):
+    # Coalesced 8-byte-stride lanes should serialise as small deltas.
+    trace = [[[0x10000000 + 8 * lane for lane in range(64)]]]
+    path = tmp_path / "t.json"
+    save_trace(trace, path)
+    document = json.loads(path.read_text())
+    encoded = document["wavefronts"][0][0]
+    assert encoded[0] == 0x10000000
+    assert set(encoded[1:]) == {8}
+
+
+def test_rejects_foreign_file(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"format": "something-else"}))
+    with pytest.raises(ValueError):
+        load_trace(path)
+    with pytest.raises(ValueError):
+        load_meta(path)
+
+
+def test_rejects_future_version(tmp_path):
+    path = tmp_path / "future.json"
+    path.write_text(
+        json.dumps({"format": "repro-trace", "version": 99, "wavefronts": []})
+    )
+    with pytest.raises(ValueError):
+        load_trace(path)
+
+
+def test_loaded_trace_runs(tmp_path):
+    """A persisted trace drives the simulator like a fresh one."""
+    from repro.experiments.runner import build_system
+    from tests.conftest import tiny_config
+
+    workload = get_workload("KMN", scale=0.05)
+    trace = workload.build_trace(num_wavefronts=2, wavefront_size=16)
+    path = tmp_path / "kmn.json"
+    save_trace(trace, path)
+
+    system = build_system(tiny_config())
+    system.gpu.dispatch(load_trace(path))
+    system.simulator.run()
+    assert system.gpu.finished

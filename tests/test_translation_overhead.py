@@ -1,0 +1,35 @@
+"""Smoke tests for the §I-motivation translation-overhead figure."""
+
+import pytest
+
+from repro.experiments import figures
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    figures.clear_run_cache()
+    yield
+
+
+def test_overhead_is_at_least_one():
+    data = figures.translation_overhead(
+        scale=0.05, num_wavefronts=4, workloads=("MVT", "KMN")
+    )
+    for workload, overhead in data.items():
+        assert overhead >= 1.0, workload
+
+
+def test_divergent_workload_suffers_more_than_regular():
+    # Needs enough concurrent wavefronts for walker contention to form;
+    # at very small scales MVT's overhead has not materialised yet.
+    data = figures.translation_overhead(
+        scale=0.25, num_wavefronts=16, workloads=("MVT", "HOT")
+    )
+    assert data["MVT"] > data["HOT"]
+
+
+def test_requested_workloads_only():
+    data = figures.translation_overhead(
+        scale=0.05, num_wavefronts=4, workloads=("KMN",)
+    )
+    assert set(data) == {"KMN"}

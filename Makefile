@@ -1,6 +1,6 @@
 # Developer conveniences for the repro package.
 
-.PHONY: install test bench figures quicktest clean
+.PHONY: install test bench perf figures quicktest clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +13,9 @@ quicktest:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+perf:
+	python benchmarks/perf/hotpath.py
 
 figures:
 	python -m repro figure table1

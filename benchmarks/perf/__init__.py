@@ -1,0 +1,5 @@
+"""Performance-regression microbenchmarks (not pytest-collected).
+
+Run ``python benchmarks/perf/hotpath.py`` with ``src`` on PYTHONPATH;
+see ``docs/PERFORMANCE.md``.
+"""

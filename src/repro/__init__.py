@@ -40,7 +40,12 @@ from repro.config_io import (
     load_config,
     save_config,
 )
-from repro.experiments.runner import build_system, compare_schedulers, run_simulation
+from repro.experiments.runner import (
+    build_system,
+    compare_schedulers,
+    run_many,
+    run_simulation,
+)
 from repro.stats.metrics import SimulationResult, geometric_mean
 from repro.workloads import (
     IRREGULAR_WORKLOADS,
@@ -77,6 +82,7 @@ __all__ = [
     "save_config",
     "get_workload",
     "make_scheduler",
+    "run_many",
     "run_simulation",
     "workload_names",
     "__version__",

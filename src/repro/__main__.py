@@ -59,6 +59,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         num_wavefronts=args.wavefronts,
         scale=args.scale,
         seed=args.seed,
+        jobs=args.jobs,
     )
     baseline = results[schedulers[0]]
     for name, result in results.items():
@@ -207,6 +208,13 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("workload")
     compare.add_argument(
         "--schedulers", default="fcfs,simt", help="comma-separated policy names"
+    )
+    compare.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the scheduler sweep (1 = serial; "
+        "results are identical either way)",
     )
     _add_run_args(compare)
     compare.set_defaults(func=_cmd_compare)

@@ -1,32 +1,67 @@
 """The IOMMU's buffer of pending page-table walk requests.
 
 The buffer is what a scheduler scans: the paper calls its size the
-scheduler's *lookahead* (Fig 14).  Entries are kept in arrival order;
-scans are linear, mirroring the hardware's associative scan of buffer
-slots.
+scheduler's *lookahead* (Fig 14).  Entries are kept in arrival order.
+
+Unlike the hardware's associative scan of buffer slots, this model keeps
+*indexes* alongside the entries so every scheduler query is sub-linear
+(the policy decisions are bit-identical to a linear scan — see
+``docs/PERFORMANCE.md`` and the differential tests):
+
+* a global arrival deque and per-instruction / per-application arrival
+  deques (lazily pruned) make ``oldest`` and ``oldest_for_instruction``
+  amortised O(1);
+* per-VPN entries live in an insertion-ordered dict keyed by arrival
+  sequence, so coalescing lookups and removals are O(1);
+* a lazy min-heap over ``(score, oldest_seq, instruction)`` keys (see
+  :class:`~repro.core.scoring.ScoreIndex`) answers the shortest-job-first
+  query in amortised O(log n) instead of an O(n) rescan.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional
 
 from repro.core.request import TranslationRequest, WalkBufferEntry
-from repro.core.scoring import ScoreTable
+from repro.core.scoring import ScoreIndex, ScoreKey, ScoreTable
+
+#: Rebuild a lazy score index once it holds this many stale keys per
+#: live one (keeps memory proportional to occupancy, amortised O(1)).
+_INDEX_SLACK = 4
+_INDEX_MIN = 64
 
 
 class PendingWalkBuffer:
     """Holds pending walks, their coalescing state and instruction scores."""
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, track_scores: bool = True) -> None:
         if capacity <= 0:
             raise ValueError("buffer capacity must be positive")
         self.capacity = capacity
+        #: Whether the score index (and per-app indexes) are maintained.
+        #: The IOMMU disables this for policies with ``needs_scores``
+        #: False (fcfs/random/batch) so their hot path skips heap pushes.
+        self.track_scores = track_scores
         self._entries: Dict[int, WalkBufferEntry] = {}
         # Duplicate-VPN entries are legal (the baseline IOMMU does not
-        # merge same-page walks across instructions), so index lists.
-        self._by_vpn: Dict[int, List[WalkBufferEntry]] = {}
+        # merge same-page walks across instructions), so index per VPN
+        # by arrival sequence; insertion order keeps the oldest first.
+        self._by_vpn: Dict[int, Dict[int, WalkBufferEntry]] = {}
         self._scores = ScoreTable()
         self._arrival_seq = 0
+        # Arrival-order indexes.  Deques are pruned lazily: an entry
+        # removed from ``_entries`` is dropped when it surfaces at a
+        # deque front, so each entry costs O(1) amortised per index.
+        self._arrival: Deque[WalkBufferEntry] = deque()
+        self._by_instruction: Dict[int, Deque[WalkBufferEntry]] = {}
+        self._by_app: Dict[int, Deque[WalkBufferEntry]] = {}
+        self._per_app: Dict[int, Dict[int, Deque[WalkBufferEntry]]] = {}
+        #: instruction -> {app -> pending-entry count}; lets a score
+        #: change (direct dispatch) refresh every affected app index.
+        self._instruction_apps: Dict[int, Dict[int, int]] = {}
+        self._score_index = ScoreIndex()
+        self._app_score_index: Dict[int, ScoreIndex] = {}
         self.peak_occupancy = 0
         self.total_insertions = 0
         self.total_coalesced = 0
@@ -46,10 +81,120 @@ class PendingWalkBuffer:
     def is_empty(self) -> bool:
         return not self._entries
 
+    # ------------------------------------------------------------------
+    # Index plumbing
+    # ------------------------------------------------------------------
+
+    def _is_live(self, entry: WalkBufferEntry) -> bool:
+        return self._entries.get(entry.arrival_seq) is entry
+
+    def _front(self, queue: Deque[WalkBufferEntry]) -> Optional[WalkBufferEntry]:
+        """The oldest still-buffered entry of ``queue`` (prunes stale)."""
+        while queue:
+            entry = queue[0]
+            if self._is_live(entry):
+                return entry
+            queue.popleft()
+        return None
+
+    def _oldest_of_instruction(self, instruction_id: int) -> Optional[WalkBufferEntry]:
+        queue = self._by_instruction.get(instruction_id)
+        if queue is None:
+            return None
+        entry = self._front(queue)
+        if entry is None:
+            del self._by_instruction[instruction_id]
+        return entry
+
+    def _oldest_of_app_instruction(
+        self, app_id: int, instruction_id: int
+    ) -> Optional[WalkBufferEntry]:
+        per_instruction = self._per_app.get(app_id)
+        if per_instruction is None:
+            return None
+        queue = per_instruction.get(instruction_id)
+        if queue is None:
+            return None
+        entry = self._front(queue)
+        if entry is None:
+            del per_instruction[instruction_id]
+            if not per_instruction:
+                del self._per_app[app_id]
+        return entry
+
+    def _push_instruction_key(self, instruction_id: int) -> None:
+        """Refresh the global score-index truth for an instruction."""
+        entry = self._oldest_of_instruction(instruction_id)
+        if entry is None:
+            return
+        self._score_index.push(
+            self._scores.score_of(instruction_id), entry.arrival_seq, instruction_id
+        )
+        if len(self._score_index) > max(
+            _INDEX_MIN, _INDEX_SLACK * len(self._by_instruction)
+        ):
+            self._score_index.rebuild(self._current_keys())
+
+    def _push_app_key(self, app_id: int, instruction_id: int) -> None:
+        """Refresh one application's score-index truth for an instruction."""
+        entry = self._oldest_of_app_instruction(app_id, instruction_id)
+        if entry is None:
+            return
+        index = self._app_score_index.setdefault(app_id, ScoreIndex())
+        index.push(
+            self._scores.score_of(instruction_id), entry.arrival_seq, instruction_id
+        )
+        per_instruction = self._per_app.get(app_id, {})
+        if len(index) > max(_INDEX_MIN, _INDEX_SLACK * len(per_instruction)):
+            index.rebuild(self._current_app_keys(app_id))
+
+    def _current_keys(self) -> List[ScoreKey]:
+        keys: List[ScoreKey] = []
+        for instruction_id in list(self._by_instruction):
+            entry = self._oldest_of_instruction(instruction_id)
+            if entry is not None:
+                keys.append(
+                    (
+                        self._scores.score_of(instruction_id),
+                        entry.arrival_seq,
+                        instruction_id,
+                    )
+                )
+        return keys
+
+    def _current_app_keys(self, app_id: int) -> List[ScoreKey]:
+        keys: List[ScoreKey] = []
+        for instruction_id in list(self._per_app.get(app_id, {})):
+            entry = self._oldest_of_app_instruction(app_id, instruction_id)
+            if entry is not None:
+                keys.append(
+                    (
+                        self._scores.score_of(instruction_id),
+                        entry.arrival_seq,
+                        instruction_id,
+                    )
+                )
+        return keys
+
+    def _key_is_current(self, key: ScoreKey) -> bool:
+        score, oldest_seq, instruction_id = key
+        entry = self._oldest_of_instruction(instruction_id)
+        return (
+            entry is not None
+            and entry.arrival_seq == oldest_seq
+            and self._scores.score_of(instruction_id) == score
+        )
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
     def find_by_vpn(self, vpn: int) -> Optional[WalkBufferEntry]:
         """The oldest pending entry for ``vpn``, if any (for coalescing)."""
         entries = self._by_vpn.get(vpn)
-        return entries[0] if entries else None
+        if not entries:
+            return None
+        return next(iter(entries.values()))
 
     def add(
         self,
@@ -76,8 +221,23 @@ class PendingWalkBuffer:
         )
         self._arrival_seq += 1
         self._entries[entry.arrival_seq] = entry
-        self._by_vpn.setdefault(entry.vpn, []).append(entry)
+        self._by_vpn.setdefault(entry.vpn, {})[entry.arrival_seq] = entry
         self._scores.add(entry.instruction_id, estimated_accesses)
+        self._arrival.append(entry)
+        self._by_instruction.setdefault(entry.instruction_id, deque()).append(entry)
+        if self.track_scores:
+            self._by_app.setdefault(entry.app_id, deque()).append(entry)
+            self._per_app.setdefault(entry.app_id, {}).setdefault(
+                entry.instruction_id, deque()
+            ).append(entry)
+            apps = self._instruction_apps.setdefault(entry.instruction_id, {})
+            apps[entry.app_id] = apps.get(entry.app_id, 0) + 1
+            self._push_instruction_key(entry.instruction_id)
+            # The instruction's score just changed, so every application
+            # holding pending entries of it needs a fresh key — not only
+            # the arriving entry's application.
+            for app_id in list(apps):
+                self._push_app_key(app_id, entry.instruction_id)
         self.total_insertions += 1
         self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
         return entry
@@ -98,13 +258,27 @@ class PendingWalkBuffer:
         walk is merely moving from pending to in-flight.  Call
         :meth:`complete_walk` when the walk finishes.
         """
-        stored = self._entries.pop(entry.arrival_seq, None)
-        if stored is not entry:
+        if self._entries.get(entry.arrival_seq) is not entry:
             raise KeyError(f"entry {entry!r} is not in the buffer")
+        del self._entries[entry.arrival_seq]
         same_vpn = self._by_vpn[entry.vpn]
-        same_vpn.remove(entry)
+        del same_vpn[entry.arrival_seq]
         if not same_vpn:
             del self._by_vpn[entry.vpn]
+        if self.track_scores:
+            apps = self._instruction_apps.get(entry.instruction_id)
+            if apps is not None:
+                remaining = apps.get(entry.app_id, 0) - 1
+                if remaining > 0:
+                    apps[entry.app_id] = remaining
+                else:
+                    apps.pop(entry.app_id, None)
+                    if not apps:
+                        del self._instruction_apps[entry.instruction_id]
+            # The instruction's oldest pending entry may have changed;
+            # refresh its index truths (stale keys expire lazily).
+            self._push_instruction_key(entry.instruction_id)
+            self._push_app_key(entry.app_id, entry.instruction_id)
 
     def account_direct_dispatch(
         self, instruction_id: int, estimated_accesses: int
@@ -115,24 +289,83 @@ class PendingWalkBuffer:
         walks never queued.
         """
         self._scores.add(instruction_id, estimated_accesses)
+        if self.track_scores:
+            # The score changed while the instruction may have buffered
+            # entries (possible when a scan is in progress): refresh.
+            self._push_instruction_key(instruction_id)
+            for app_id in list(self._instruction_apps.get(instruction_id, ())):
+                self._push_app_key(app_id, instruction_id)
 
     def complete_walk(self, instruction_id: int) -> None:
         """Release one walk's score accounting (after the walk finishes)."""
         self._scores.complete(instruction_id)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
 
     def score_of(self, entry: WalkBufferEntry) -> int:
         """The aggregate score of the entry's issuing instruction."""
         return self._scores.score_of(entry.instruction_id)
 
     def oldest(self) -> Optional[WalkBufferEntry]:
-        """The entry that arrived first (FCFS choice)."""
-        for entry in self._entries.values():
-            return entry
-        return None
+        """The entry that arrived first (FCFS choice).  Amortised O(1)."""
+        return self._front(self._arrival)
 
     def oldest_for_instruction(self, instruction_id: int) -> Optional[WalkBufferEntry]:
-        """The oldest pending entry of ``instruction_id``, or None."""
-        for entry in self._entries.values():
-            if entry.instruction_id == instruction_id:
-                return entry
-        return None
+        """The oldest pending entry of ``instruction_id``.  Amortised O(1)."""
+        return self._oldest_of_instruction(instruction_id)
+
+    def min_score_entry(self) -> Optional[WalkBufferEntry]:
+        """The pending entry minimising ``(score, arrival_seq)``.
+
+        Bit-identical to ``min(buffer, key=lambda e: (score_of(e),
+        e.arrival_seq))`` but amortised O(log n) via the lazy score
+        index.  Requires ``track_scores``.
+        """
+        if not self._entries:
+            return None
+        key = self._score_index.peek_valid(self._key_is_current)
+        if key is None:
+            raise RuntimeError(
+                "score index out of sync with buffer "
+                "(was the buffer built with track_scores=False?)"
+            )
+        return self._oldest_of_instruction(key[2])
+
+    def min_score_entry_for_app(self, app_id: int) -> Optional[WalkBufferEntry]:
+        """Same as :meth:`min_score_entry`, restricted to one application."""
+        index = self._app_score_index.get(app_id)
+        if index is None:
+            return None
+
+        def is_current(key: ScoreKey) -> bool:
+            score, oldest_seq, instruction_id = key
+            entry = self._oldest_of_app_instruction(app_id, instruction_id)
+            return (
+                entry is not None
+                and entry.arrival_seq == oldest_seq
+                and self._scores.score_of(instruction_id) == score
+            )
+
+        key = index.peek_valid(is_current)
+        if key is None:
+            return None
+        return self._oldest_of_app_instruction(app_id, key[2])
+
+    def pending_apps(self) -> List[int]:
+        """Applications with pending entries, ordered by oldest entry.
+
+        The order matches the first-occurrence order of a linear scan of
+        the buffer, which is what the fair-share policy's original set
+        comprehension produced.  Requires ``track_scores``.
+        """
+        fronts = []
+        for app_id in list(self._by_app):
+            entry = self._front(self._by_app[app_id])
+            if entry is None:
+                del self._by_app[app_id]
+            else:
+                fronts.append((entry.arrival_seq, app_id))
+        fronts.sort()
+        return [app_id for _, app_id in fronts]

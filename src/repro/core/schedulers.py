@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from itertools import islice
 from typing import Callable, Dict, Optional
 
 from repro.core.aging import AgingPolicy
@@ -87,10 +88,13 @@ class RandomScheduler(WalkScheduler):
         if buffer.is_empty:
             return None
         index = self._rng.randrange(len(buffer))
-        for position, entry in enumerate(buffer):
-            if position == index:
-                return entry
-        raise AssertionError("unreachable: index within len(buffer)")
+        # islice skips ``index`` entries in C instead of a Python-level
+        # enumerate loop; the visited order (arrival order) and hence the
+        # seeded selection sequence are unchanged.
+        entry = next(islice(iter(buffer), index, None), None)
+        if entry is None:
+            raise AssertionError("unreachable: index within len(buffer)")
+        return entry
 
 
 class SJFScheduler(WalkScheduler):
@@ -114,8 +118,8 @@ class SJFScheduler(WalkScheduler):
         if starving is not None:
             choice = starving
         else:
-            choice = min(buffer, key=lambda e: (buffer.score_of(e), e.arrival_seq))
-        self.aging.record_bypasses(buffer, choice)
+            choice = buffer.min_score_entry()
+        self.aging.record_dispatch(choice)
         return choice
 
 
@@ -186,9 +190,9 @@ class SIMTAwareScheduler(WalkScheduler):
             if choice is not None:
                 self.batch_hits += 1
         if choice is None:
-            choice = min(buffer, key=lambda e: (buffer.score_of(e), e.arrival_seq))
+            choice = buffer.min_score_entry()
             self.sjf_picks += 1
-        self.aging.record_bypasses(buffer, choice)
+        self.aging.record_dispatch(choice)
         self.note_dispatch(choice)
         return choice
 
@@ -230,15 +234,15 @@ class FairShareScheduler(WalkScheduler):
         if choice is None and self._last_instruction is not None:
             choice = buffer.oldest_for_instruction(self._last_instruction)
         if choice is None:
-            pending_apps = {entry.app_id for entry in buffer}
+            # Build the candidate set in buffer first-occurrence order so
+            # tie-breaking via set iteration matches the original
+            # ``{entry.app_id for entry in buffer}`` comprehension.
+            pending_apps = set(buffer.pending_apps())
             neediest = min(
                 pending_apps, key=lambda app: self.attained_service.get(app, 0)
             )
-            choice = min(
-                (entry for entry in buffer if entry.app_id == neediest),
-                key=lambda e: (buffer.score_of(e), e.arrival_seq),
-            )
-        self.aging.record_bypasses(buffer, choice)
+            choice = buffer.min_score_entry_for_app(neediest)
+        self.aging.record_dispatch(choice)
         self.note_dispatch(choice)
         return choice
 

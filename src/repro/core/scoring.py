@@ -20,7 +20,65 @@ ordering by true job length.
 
 from __future__ import annotations
 
-from typing import Dict
+import heapq
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+#: A score-index key: ``(score, oldest_arrival_seq, instruction_id)``.
+#: Ordering these tuples reproduces the scheduler's shortest-job-first
+#: comparison ``(score_of(entry), entry.arrival_seq)`` exactly, because
+#: for a fixed instruction the oldest pending entry has the minimal
+#: arrival sequence and arrival sequences are globally unique.
+ScoreKey = Tuple[int, int, int]
+
+
+class ScoreIndex:
+    """A lazy min-heap over :data:`ScoreKey` tuples.
+
+    The index trades strict consistency for O(log n) updates: writers
+    push a fresh key whenever an instruction's ``(score, oldest_seq)``
+    truth changes and never delete the stale ones.  Readers pass a
+    validator that checks a key against the current truth; stale keys
+    are discarded as they surface at the heap top.  Each pushed key is
+    popped at most once, so maintenance stays amortised O(log n) per
+    buffer mutation.
+
+    The owner is responsible for bounding staleness via :meth:`rebuild`
+    (see ``PendingWalkBuffer``), which keeps heap size proportional to
+    the number of live instructions rather than total history.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: list = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, score: int, oldest_seq: int, instruction_id: int) -> None:
+        """Record a new ``(score, oldest_seq)`` truth for an instruction."""
+        heapq.heappush(self._heap, (score, oldest_seq, instruction_id))
+
+    def peek_valid(
+        self, is_current: Callable[[ScoreKey], bool]
+    ) -> Optional[ScoreKey]:
+        """The smallest key accepted by ``is_current``, or None.
+
+        Discards stale keys from the top; the returned key stays in the
+        heap (it is still the current truth for its instruction).
+        """
+        heap = self._heap
+        while heap:
+            key = heap[0]
+            if is_current(key):
+                return key
+            heapq.heappop(heap)
+        return None
+
+    def rebuild(self, keys: Iterable[ScoreKey]) -> None:
+        """Replace the heap with exactly the given current truths."""
+        self._heap = list(keys)
+        heapq.heapify(self._heap)
 
 
 class ScoreTable:

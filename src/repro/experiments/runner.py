@@ -10,10 +10,13 @@ This is the library's main entry point::
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.config import SystemConfig, baseline_config
+from repro.core.schedulers import WalkScheduler
 from repro.engine.simulator import Simulator
 from repro.gpu.gpu import GPU
 from repro.memory.subsystem import MemorySubsystem
@@ -51,8 +54,17 @@ class System:
     gpu: GPU
 
 
-def build_system(config: Optional[SystemConfig] = None) -> System:
-    """Construct and wire every hardware model from a configuration."""
+def build_system(
+    config: Optional[SystemConfig] = None,
+    scheduler: Optional[WalkScheduler] = None,
+) -> System:
+    """Construct and wire every hardware model from a configuration.
+
+    ``scheduler`` overrides the configuration's policy with a concrete
+    :class:`~repro.core.schedulers.WalkScheduler` instance — used for
+    policies outside the registry (e.g. the naive reference twins in
+    :mod:`repro.core.reference`).
+    """
     config = config or baseline_config()
     geometry = geometry_by_name(config.page_size)
     simulator = Simulator()
@@ -63,6 +75,7 @@ def build_system(config: Optional[SystemConfig] = None) -> System:
         config.iommu,
         page_table,
         page_table_read=memory.page_table_read,
+        scheduler=scheduler,
         geometry=geometry,
     )
     gpu = GPU(simulator, config, memory, iommu)
@@ -88,7 +101,7 @@ def _resolve_workload(
 def run_simulation(
     workload: Union[str, Workload],
     config: Optional[SystemConfig] = None,
-    scheduler: Optional[str] = None,
+    scheduler: Optional[Union[str, WalkScheduler]] = None,
     num_wavefronts: int = DEFAULT_WAVEFRONTS,
     scale: float = 1.0,
     seed: int = 0,
@@ -98,26 +111,40 @@ def run_simulation(
 
     ``workload`` is a Table II abbreviation ("MVT") or a
     :class:`~repro.workloads.base.Workload` instance.  ``scheduler``
-    overrides the configuration's walk-scheduling policy.
+    overrides the configuration's walk-scheduling policy — either a
+    registry name or a :class:`~repro.core.schedulers.WalkScheduler`
+    instance (e.g. a naive reference twin).
     """
     config = config or baseline_config()
-    if scheduler is not None:
+    scheduler_instance: Optional[WalkScheduler] = None
+    if isinstance(scheduler, WalkScheduler):
+        scheduler_instance = scheduler
+    elif scheduler is not None:
         config = config.with_scheduler(scheduler, seed=seed)
     bench = _resolve_workload(workload, scale=scale, seed=seed)
-    system = build_system(config)
+    system = build_system(config, scheduler=scheduler_instance)
 
     traces = bench.build_trace(
         num_wavefronts=num_wavefronts,
         wavefront_size=config.gpu.wavefront_size,
     )
     system.gpu.dispatch(traces)
+    wall_start = time.perf_counter()
     system.simulator.run(until=max_cycles)
+    wall_seconds = time.perf_counter() - wall_start
     if not system.gpu.finished:
         raise RuntimeError(
             f"simulation of {bench.abbrev} did not finish within "
             f"{max_cycles} cycles ({system.simulator.pending_events} events pending)"
         )
-    return collect_result(system, bench)
+    result = collect_result(system, bench)
+    events = system.simulator.events_processed
+    result.detail["engine"] = {
+        "events_processed": events,
+        "wall_seconds": wall_seconds,
+        "events_per_sec": events / wall_seconds if wall_seconds > 0 else 0.0,
+    }
+    return result
 
 
 def collect_result(system: System, workload: Workload) -> SimulationResult:
@@ -152,6 +179,31 @@ def collect_result(system: System, workload: Workload) -> SimulationResult:
     )
 
 
+def _run_one_spec(spec: Mapping[str, Any]) -> SimulationResult:
+    """Top-level trampoline so run specs can cross a process boundary."""
+    return run_simulation(**spec)
+
+
+def run_many(
+    specs: Sequence[Mapping[str, Any]],
+    jobs: Optional[int] = None,
+) -> List[SimulationResult]:
+    """Run many simulations, optionally across worker processes.
+
+    Each spec is a mapping of :func:`run_simulation` keyword arguments.
+    With ``jobs`` > 1 the runs fan out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; each worker builds
+    its own system from the (picklable) spec, so results are identical
+    to the serial path — simulations share no mutable state.  Results
+    come back in spec order either way.
+    """
+    specs = list(specs)
+    if jobs is None or jobs <= 1 or len(specs) <= 1:
+        return [_run_one_spec(spec) for spec in specs]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+        return list(pool.map(_run_one_spec, specs))
+
+
 def compare_schedulers(
     workload: Union[str, Workload],
     schedulers: Sequence[str] = ("fcfs", "simt"),
@@ -159,20 +211,26 @@ def compare_schedulers(
     num_wavefronts: int = DEFAULT_WAVEFRONTS,
     scale: float = 1.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, SimulationResult]:
     """Run the same workload under several schedulers.
 
     Each run gets a freshly-built system and an identical trace, so the
     only difference between results is the walk-scheduling policy.
+    ``jobs`` > 1 runs the schedulers in parallel worker processes (one
+    per scheduler, capped at ``jobs``); results are identical to the
+    serial path.
     """
-    results: Dict[str, SimulationResult] = {}
-    for name in schedulers:
-        results[name] = run_simulation(
-            workload,
-            config=config,
-            scheduler=name,
-            num_wavefronts=num_wavefronts,
-            scale=scale,
-            seed=seed,
-        )
-    return results
+    specs = [
+        {
+            "workload": workload,
+            "config": config,
+            "scheduler": name,
+            "num_wavefronts": num_wavefronts,
+            "scale": scale,
+            "seed": seed,
+        }
+        for name in schedulers
+    ]
+    results = run_many(specs, jobs=jobs)
+    return dict(zip(schedulers, results))

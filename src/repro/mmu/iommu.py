@@ -62,11 +62,15 @@ class IOMMU:
         self.l1_tlb = TLB(config.l1_tlb, name="iommu_l1_tlb")
         self.l2_tlb = TLB(config.l2_tlb, name="iommu_l2_tlb")
         self.pwc = PageWalkCache(config.pwc, geometry=geometry)
-        self.buffer = PendingWalkBuffer(config.buffer_entries)
         self.scheduler = scheduler or make_scheduler(
             config.scheduler,
             seed=config.scheduler_seed,
             aging_threshold=config.aging_threshold,
+        )
+        # Policies that ignore scores (fcfs/random/batch) skip the
+        # buffer's score-index maintenance on their hot path.
+        self.buffer = PendingWalkBuffer(
+            config.buffer_entries, track_scores=self.scheduler.needs_scores
         )
         self.walkers: List[PageTableWalker] = [
             PageTableWalker(i, simulator, page_table, self.pwc, page_table_read)

@@ -60,3 +60,52 @@ def test_repeated_dispatches_age_the_passed_over():
     for seq in range(1, 4):
         policy.record_bypasses([waiting], dispatched=make_entry(seq))
     assert policy.starving([waiting]) is waiting
+
+
+def make_buffer_with(vpn_by_instruction):
+    from repro.core.buffer import PendingWalkBuffer
+
+    buffer = PendingWalkBuffer(16)
+    entries = []
+    for instruction_id, vpn in vpn_by_instruction:
+        request = TranslationRequest(
+            vpn=vpn,
+            instruction_id=instruction_id,
+            wavefront_id=0,
+            cu_id=0,
+            issue_time=0,
+        )
+        entries.append(buffer.add(request, arrival_time=0))
+    return buffer, entries
+
+
+def test_incremental_path_promotes_oldest_after_threshold_dispatches():
+    policy = AgingPolicy(2)
+    buffer, entries = make_buffer_with([(1, 1), (2, 2), (3, 3)])
+    waiting = entries[0]
+    for younger in entries[1:]:
+        assert policy.starving(buffer) is None
+        policy.record_dispatch(younger)
+        buffer.remove(younger)
+    # Bypassed twice — exactly at threshold.
+    assert policy.starving(buffer) is waiting
+    assert policy.promotions == 1
+
+
+def test_direct_dispatches_do_not_age_anyone():
+    policy = AgingPolicy(1)
+    buffer, entries = make_buffer_with([(1, 1)])
+    direct = make_entry(0)
+    direct.arrival_seq = -1  # bypassed the buffer entirely
+    policy.record_dispatch(direct)
+    assert policy.starving(buffer) is None
+
+
+def test_bypass_count_of_matches_recorded_history():
+    policy = AgingPolicy(10)
+    buffer, entries = make_buffer_with([(1, 1), (2, 2), (3, 3)])
+    oldest, middle, newest = entries
+    policy.record_dispatch(middle)
+    buffer.remove(middle)
+    assert policy.bypass_count_of(oldest, buffer) == 1
+    assert policy.bypass_count_of(newest, buffer) == 0

@@ -6,9 +6,14 @@ from repro.core.buffer import PendingWalkBuffer
 from repro.core.request import TranslationRequest
 
 
-def make_request(vpn=1, instruction_id=1):
+def make_request(vpn=1, instruction_id=1, app_id=0):
     return TranslationRequest(
-        vpn=vpn, instruction_id=instruction_id, wavefront_id=0, cu_id=0, issue_time=0
+        vpn=vpn,
+        instruction_id=instruction_id,
+        wavefront_id=0,
+        cu_id=0,
+        issue_time=0,
+        app_id=app_id,
     )
 
 
@@ -127,3 +132,75 @@ def test_peak_occupancy_tracked():
         buffer.remove(entry)
     assert buffer.peak_occupancy == 3
     assert buffer.total_insertions == 3
+
+
+def test_min_score_entry_picks_lowest_score_then_oldest():
+    buffer = PendingWalkBuffer(8)
+    assert buffer.min_score_entry() is None
+    buffer.add(make_request(vpn=1, instruction_id=1), 0, estimated_accesses=4)
+    light = buffer.add(make_request(vpn=2, instruction_id=2), 0, estimated_accesses=1)
+    buffer.add(make_request(vpn=3, instruction_id=2), 0, estimated_accesses=0)
+    assert buffer.min_score_entry() is light  # score 1 < 4; oldest of instr 2
+
+
+def test_min_score_entry_tracks_removals():
+    buffer = PendingWalkBuffer(8)
+    a = buffer.add(make_request(vpn=1, instruction_id=1), 0, estimated_accesses=1)
+    b = buffer.add(make_request(vpn=2, instruction_id=1), 0, estimated_accesses=1)
+    c = buffer.add(make_request(vpn=3, instruction_id=2), 0, estimated_accesses=9)
+    assert buffer.min_score_entry() is a
+    buffer.remove(a)
+    assert buffer.min_score_entry() is b  # next-oldest of the same instruction
+    buffer.remove(b)
+    assert buffer.min_score_entry() is c  # only instruction left
+
+
+def test_min_score_entry_sees_score_growth():
+    buffer = PendingWalkBuffer(8)
+    a = buffer.add(make_request(vpn=1, instruction_id=1), 0, estimated_accesses=2)
+    b = buffer.add(make_request(vpn=2, instruction_id=2), 0, estimated_accesses=3)
+    assert buffer.min_score_entry() is a
+    # Instruction 1 gains work (a direct dispatch): instruction 2 wins now.
+    buffer.account_direct_dispatch(1, 4)
+    assert buffer.min_score_entry() is b
+
+
+def test_min_score_entry_for_app():
+    buffer = PendingWalkBuffer(8)
+    buffer.add(make_request(vpn=1, instruction_id=1, app_id=0), 0, estimated_accesses=1)
+    heavy = buffer.add(
+        make_request(vpn=2, instruction_id=2, app_id=1), 0, estimated_accesses=9
+    )
+    assert buffer.min_score_entry_for_app(1) is heavy
+    assert buffer.min_score_entry_for_app(7) is None
+
+
+def test_app_index_sees_other_apps_score_changes():
+    # Regression: instruction 1 spans two apps; adding more of its work
+    # via app 1 must refresh app 0's index too.
+    buffer = PendingWalkBuffer(8)
+    mine = buffer.add(
+        make_request(vpn=1, instruction_id=1, app_id=0), 0, estimated_accesses=1
+    )
+    buffer.add(make_request(vpn=2, instruction_id=1, app_id=1), 0, estimated_accesses=5)
+    assert buffer.min_score_entry_for_app(0) is mine
+
+
+def test_pending_apps_ordered_by_oldest_entry():
+    buffer = PendingWalkBuffer(8)
+    assert buffer.pending_apps() == []
+    first = buffer.add(make_request(vpn=1, instruction_id=1, app_id=3), 0)
+    buffer.add(make_request(vpn=2, instruction_id=2, app_id=0), 0)
+    buffer.add(make_request(vpn=3, instruction_id=3, app_id=3), 0)
+    assert buffer.pending_apps() == [3, 0]
+    buffer.remove(first)
+    assert buffer.pending_apps() == [0, 3]
+
+
+def test_track_scores_false_skips_score_index():
+    buffer = PendingWalkBuffer(8, track_scores=False)
+    entry = buffer.add(make_request(vpn=1), 0, estimated_accesses=2)
+    assert buffer.oldest() is entry  # arrival-order queries still work
+    assert buffer.score_of(entry) == 2  # plain score lookups still work
+    with pytest.raises(RuntimeError):
+        buffer.min_score_entry()

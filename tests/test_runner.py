@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.experiments.runner import build_system, compare_schedulers, run_simulation
+from repro.experiments.runner import (
+    build_system,
+    compare_schedulers,
+    run_many,
+    run_simulation,
+)
 from repro.workloads.synthetic import ParametricWorkload
 from tests.conftest import tiny_config
 
@@ -67,6 +72,72 @@ class TestRunSimulation:
         b = run_simulation(tiny_workload(), **kwargs)
         assert a.total_cycles == b.total_cycles
         assert a.walks_dispatched == b.walks_dispatched
+
+    def test_engine_throughput_recorded(self):
+        result = run_simulation(
+            tiny_workload(), config=tiny_config(), num_wavefronts=4
+        )
+        engine = result.detail["engine"]
+        assert engine["events_processed"] > 0
+        assert engine["wall_seconds"] > 0
+        assert engine["events_per_sec"] > 0
+
+
+def _strip_timing(result):
+    """Deterministic fields only: drop wall-clock throughput numbers."""
+    detail = dict(result.detail)
+    engine = dict(detail["engine"])
+    engine.pop("wall_seconds")
+    engine.pop("events_per_sec")
+    detail["engine"] = engine
+    return {**{f: getattr(result, f) for f in (
+        "workload", "scheduler", "total_cycles", "instructions",
+        "wavefronts", "stall_cycles", "walks_dispatched",
+        "walk_memory_accesses", "interleaved_fraction",
+        "first_walk_latency", "last_walk_latency",
+        "wavefronts_per_epoch", "walk_work_fractions",
+    )}, "detail": detail}
+
+
+class TestRunMany:
+    def specs(self):
+        return [
+            {
+                "workload": "KMN",
+                "config": tiny_config(name),
+                "scheduler": name,
+                "num_wavefronts": 2,
+                "scale": 0.1,
+            }
+            for name in ("fcfs", "simt", "sjf")
+        ]
+
+    def test_serial_matches_individual_runs(self):
+        results = run_many(self.specs())
+        assert [r.scheduler for r in results] == ["fcfs", "simt", "sjf"]
+        solo = run_simulation(**self.specs()[1])
+        assert _strip_timing(results[1]) == _strip_timing(solo)
+
+    def test_parallel_identical_to_serial(self):
+        serial = run_many(self.specs(), jobs=1)
+        parallel = run_many(self.specs(), jobs=2)
+        assert [_strip_timing(r) for r in parallel] == [
+            _strip_timing(r) for r in serial
+        ]
+
+
+class TestCompareSchedulersParallel:
+    def test_jobs_identical_to_serial(self):
+        kwargs = dict(
+            schedulers=("fcfs", "random", "simt"),
+            config=tiny_config(),
+            num_wavefronts=4,
+        )
+        serial = compare_schedulers(tiny_workload(), **kwargs)
+        parallel = compare_schedulers(tiny_workload(), jobs=3, **kwargs)
+        assert list(parallel) == list(serial)
+        for name in serial:
+            assert _strip_timing(parallel[name]) == _strip_timing(serial[name])
 
 
 class TestCompareSchedulers:

@@ -126,7 +126,9 @@ class TestSJF:
         light = add(buffer, 2, 2, estimate=1)
         chosen = scheduler.select(buffer)
         assert chosen is light
-        assert old_heavy.bypass_count == 1
+        buffer.remove(light)  # the IOMMU removes a selected entry
+        # Bypass counts are derived incrementally, not stored per entry.
+        assert scheduler.aging.bypass_count_of(old_heavy, buffer) == 1
 
 
 class TestBatch:

@@ -1,6 +1,6 @@
 # Developer conveniences for the repro package.
 
-.PHONY: install test bench perf figures quicktest clean
+.PHONY: install test bench perf figures quicktest faults clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,6 +16,9 @@ bench:
 
 perf:
 	python benchmarks/perf/hotpath.py
+
+faults:
+	python -m repro faults --seed 2018 --runs 8 --jobs 2 --timeout 300
 
 figures:
 	python -m repro figure table1

@@ -44,7 +44,19 @@ from repro.experiments.runner import (
     build_system,
     compare_schedulers,
     run_many,
+    run_many_resilient,
     run_simulation,
+    scheduler_sweep_specs,
+)
+from repro.resilience import (
+    DeadlockDiagnosis,
+    FaultEvent,
+    FaultPlan,
+    RunOutcome,
+    SpecExecutionError,
+    Watchdog,
+    WatchdogError,
+    run_campaign,
 )
 from repro.stats.metrics import SimulationResult, geometric_mean
 from repro.workloads import (
@@ -59,17 +71,24 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DRAMConfig",
+    "DeadlockDiagnosis",
     "FCFSScheduler",
+    "FaultEvent",
+    "FaultPlan",
     "GPUConfig",
     "IOMMUConfig",
     "IRREGULAR_WORKLOADS",
     "PWCConfig",
     "RandomScheduler",
     "REGULAR_WORKLOADS",
+    "RunOutcome",
     "SIMTAwareScheduler",
     "SimulationResult",
+    "SpecExecutionError",
     "SystemConfig",
     "TLBConfig",
+    "Watchdog",
+    "WatchdogError",
     "all_workloads",
     "available_schedulers",
     "baseline_config",
@@ -82,8 +101,11 @@ __all__ = [
     "save_config",
     "get_workload",
     "make_scheduler",
+    "run_campaign",
     "run_many",
+    "run_many_resilient",
     "run_simulation",
+    "scheduler_sweep_specs",
     "workload_names",
     "__version__",
 ]

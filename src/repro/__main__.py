@@ -7,7 +7,14 @@ Commands
     Simulate one workload under one scheduler and print its metrics.
 
 ``compare WORKLOAD``
-    Run several schedulers on one workload and print speedups.
+    Run several schedulers on one workload and print speedups.  With
+    ``--timeout``/``--retries`` each scheduler's run is bounded and
+    retried in an isolated worker process; failures are summarised and
+    the exit code is nonzero if any job ultimately fails.
+
+``faults``
+    Run a seeded fault-injection campaign (deterministic: the same seed
+    prints byte-identical JSON).
 
 ``figure NAME``
     Regenerate one of the paper's figures/tables (fig2, fig3, fig5,
@@ -23,7 +30,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import available_schedulers, compare_schedulers, run_simulation
+from repro import available_schedulers, run_simulation
 from repro.experiments import figures, report
 from repro.workloads.registry import workload_names
 
@@ -51,19 +58,71 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_many, scheduler_sweep_specs
+
     schedulers = tuple(args.schedulers.split(","))
-    results = compare_schedulers(
+    specs = scheduler_sweep_specs(
         args.workload.upper(),
+        schedulers,
         config=_load_config(args),
-        schedulers=schedulers,
         num_wavefronts=args.wavefronts,
         scale=args.scale,
         seed=args.seed,
-        jobs=args.jobs,
     )
-    baseline = results[schedulers[0]]
-    for name, result in results.items():
-        print(f"{result.summary()}  speedup={result.speedup_over(baseline):.3f}")
+    outcomes = run_many(
+        specs,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        return_outcomes=True,
+    )
+    baseline = outcomes[0].result if outcomes[0].ok else None
+    for name, outcome in zip(schedulers, outcomes):
+        if outcome.ok:
+            result = outcome.result
+            line = result.summary()
+            if baseline is not None:
+                line += f"  speedup={result.speedup_over(baseline):.3f}"
+            print(line)
+        else:
+            print(f"{name}: FAILED after {outcome.attempts} attempt(s) — "
+                  f"{outcome.error_type}: {outcome.error}")
+    failed = [
+        name for name, outcome in zip(schedulers, outcomes) if not outcome.ok
+    ]
+    if failed:
+        print(
+            f"{len(failed)}/{len(outcomes)} jobs failed: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.resilience.campaign import render_campaign, run_campaign
+
+    report = run_campaign(
+        seed=args.seed,
+        runs=args.runs,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    rendered = render_campaign(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    if report["completed"] != report["runs"]:
+        print(
+            f"{report['runs'] - report['completed']}/{report['runs']} "
+            "campaign cases failed",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -216,8 +275,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the scheduler sweep (1 = serial; "
         "results are identical either way)",
     )
+    compare.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="wall-clock seconds allowed per job (runs in an isolated "
+        "worker process; overdue workers are terminated)",
+    )
+    compare.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts for a crashed/failed/timed-out job",
+    )
     _add_run_args(compare)
     compare.set_defaults(func=_cmd_compare)
+
+    faults = sub.add_parser(
+        "faults", help="run a seeded, deterministic fault-injection campaign"
+    )
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--runs", type=int, default=6)
+    faults.add_argument("--jobs", type=int, default=1)
+    faults.add_argument("--timeout", type=float, default=None)
+    faults.add_argument("--retries", type=int, default=0)
+    faults.add_argument(
+        "--output", default=None, help="write the JSON report here instead of stdout"
+    )
+    faults.set_defaults(func=_cmd_faults)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure/table")
     figure.add_argument("name", help="e.g. fig8, fig13a, table2")

@@ -25,7 +25,10 @@ mid-simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.faults import FaultPlan
 
 #: Size of a small (base) page in bytes.  The paper uses x86-64 4 KB pages.
 PAGE_SIZE = 4096
@@ -269,6 +272,10 @@ class SystemConfig:
     )
     iommu: IOMMUConfig = field(default_factory=IOMMUConfig)
     dram: DRAMConfig = field(default_factory=DRAMConfig)
+    #: Deterministic fault-injection plan (resilience testing).  ``None``
+    #: — or a plan with no events — means the fault-free fast path, which
+    #: is bit-identical to a build without the resilience subsystem.
+    faults: Optional["FaultPlan"] = None
 
     def with_scheduler(self, name: str, seed: int = 0) -> "SystemConfig":
         """Return a copy of this configuration using walk scheduler ``name``."""
@@ -293,6 +300,10 @@ class SystemConfig:
         if page_size.upper() not in ("4K", "2M"):
             raise ValueError(f"unsupported page size {page_size!r}")
         return replace(self, page_size=page_size.upper())
+
+    def with_faults(self, plan: Optional["FaultPlan"]) -> "SystemConfig":
+        """Return a copy running under fault-injection plan ``plan``."""
+        return replace(self, faults=plan)
 
 
 def baseline_config(scheduler: str = "fcfs") -> SystemConfig:

@@ -23,6 +23,7 @@ from repro.config import (
     SystemConfig,
     TLBConfig,
 )
+from repro.resilience.faults import FaultEvent, FaultPlan
 
 T = TypeVar("T")
 
@@ -44,6 +45,10 @@ _NESTED: Dict[Type, Dict[str, Type]] = {
     },
 }
 
+#: Fields rebuilt by hand rather than plain nested-dataclass recursion:
+#: a fault plan's ``events`` is a *list* of dataclasses.
+_FAULT_FIELD = "faults"
+
 
 def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
     """Flatten a configuration tree to JSON-serialisable primitives."""
@@ -62,11 +67,27 @@ def _build(cls: Type[T], data: Dict[str, Any]) -> T:
     nested = _NESTED.get(cls, {})
     kwargs: Dict[str, Any] = {}
     for key, value in data.items():
-        if key in nested and isinstance(value, dict):
+        if cls is SystemConfig and key == _FAULT_FIELD and isinstance(value, dict):
+            kwargs[key] = _build_fault_plan(value)
+        elif key in nested and isinstance(value, dict):
             kwargs[key] = _build(nested[key], value)
         else:
             kwargs[key] = value
     return cls(**kwargs)
+
+
+def _build_fault_plan(data: Dict[str, Any]) -> FaultPlan:
+    known = {field.name for field in fields(FaultPlan)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown FaultPlan keys: {', '.join(sorted(unknown))}"
+        )
+    events = tuple(
+        event if isinstance(event, FaultEvent) else _build(FaultEvent, event)
+        for event in data.get("events", ())
+    )
+    return FaultPlan(seed=data.get("seed", 0), events=events)
 
 
 def config_from_dict(data: Dict[str, Any]) -> SystemConfig:

@@ -21,6 +21,9 @@ class Simulator:
         self._queue = EventQueue()
         self._now = 0
         self._events_processed = 0
+        self._monitor: Optional[Callable[[], Any]] = None
+        self._monitor_interval = 0
+        self._monitor_countdown = 0
 
     @property
     def now(self) -> int:
@@ -54,26 +57,55 @@ class Simulator:
             raise ValueError(f"delay must be non-negative, got {delay}")
         self._queue.push(self._now + delay, callback)
 
+    def set_monitor(
+        self, callback: Optional[Callable[[], Any]], interval_events: int = 10_000
+    ) -> None:
+        """Install (or clear, with ``None``) a periodic monitor hook.
+
+        ``callback`` runs every ``interval_events`` fired events during
+        :meth:`run` — the attachment point for watchdogs and invariant
+        checkers.  A monitor may raise to abort the run; the clock and
+        event counts stay consistent.  With no monitor installed the
+        event loop is the original tight loop.
+        """
+        if callback is not None and interval_events <= 0:
+            raise ValueError(
+                f"interval_events must be positive, got {interval_events}"
+            )
+        self._monitor = callback
+        self._monitor_interval = interval_events if callback is not None else 0
+        self._monitor_countdown = self._monitor_interval
+
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Drain the event queue.
 
         Stops when the queue is empty, when the next event would fire
         after ``until``, or after ``max_events`` events.  Returns the
-        final simulation time.
+        final simulation time.  When the queue empties before ``until``
+        the clock stays at the last fired event (callers discover
+        premature drains by inspecting their own completion state).
         """
         queue = self._queue
         fired = 0
-        while queue:
-            if until is not None and queue.peek_time() > until:
-                self._now = until
-                break
-            if max_events is not None and fired >= max_events:
-                break
-            time, _, callback = queue.pop()
-            self._now = time
-            callback()
-            fired += 1
-        self._events_processed += fired
+        monitor = self._monitor
+        try:
+            while queue:
+                if until is not None and queue.peek_time() > until:
+                    self._now = until
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                time, _, callback = queue.pop()
+                self._now = time
+                callback()
+                fired += 1
+                if monitor is not None:
+                    self._monitor_countdown -= 1
+                    if self._monitor_countdown <= 0:
+                        self._monitor_countdown = self._monitor_interval
+                        monitor()
+        finally:
+            self._events_processed += fired
         return self._now
 
     def step(self) -> bool:

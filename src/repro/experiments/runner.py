@@ -6,23 +6,44 @@ This is the library's main entry point::
 
     result = run_simulation("MVT", scheduler="simt")
     print(result.summary())
+
+Sweeps run through :func:`run_many` (results, raising on the first
+failure) or :func:`run_many_resilient` (one :class:`RunOutcome` per
+spec: per-job worker processes, timeouts, bounded retry with backoff,
+crash isolation and optional on-disk checkpointing — one dying worker
+loses one job, never the sweep).
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback as traceback_module
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.config import SystemConfig, baseline_config
-from repro.core.schedulers import WalkScheduler
+from repro.core.schedulers import WalkScheduler, available_schedulers
 from repro.engine.simulator import Simulator
 from repro.gpu.gpu import GPU
 from repro.memory.subsystem import MemorySubsystem
 from repro.mmu.geometry import geometry_by_name
 from repro.mmu.iommu import IOMMU
 from repro.mmu.page_table import FrameAllocator, PageTable
+from repro.resilience.faults import build_injector
+from repro.resilience.outcomes import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CheckpointStore,
+    RunOutcome,
+    SpecExecutionError,
+    describe_spec,
+)
+from repro.resilience.watchdog import (
+    DEFAULT_CHECK_INTERVAL_EVENTS,
+    Watchdog,
+    WatchdogError,
+)
 from repro.stats.export import walk_latency_percentiles
 from repro.stats.metrics import (
     SimulationResult,
@@ -40,6 +61,10 @@ DEFAULT_WAVEFRONTS = 64
 #: Safety valve: a run that exceeds this many cycles has almost certainly
 #: deadlocked (a model bug), so fail loudly instead of spinning.
 MAX_CYCLES = 2_000_000_000
+
+#: Default base delay for the resilient sweep's retry backoff (seconds);
+#: doubles per attempt.
+RETRY_BACKOFF_SECONDS = 0.25
 
 
 @dataclass
@@ -64,12 +89,19 @@ def build_system(
     :class:`~repro.core.schedulers.WalkScheduler` instance — used for
     policies outside the registry (e.g. the naive reference twins in
     :mod:`repro.core.reference`).
+
+    When the configuration carries a non-empty
+    :class:`~repro.resilience.faults.FaultPlan`, a fault injector is
+    wired through the IOMMU, walkers and memory subsystem and its timed
+    faults are armed on the simulator clock.  Without one, every hook
+    stays None and the models run their original fast paths.
     """
     config = config or baseline_config()
     geometry = geometry_by_name(config.page_size)
     simulator = Simulator()
+    injector = build_injector(config.faults)
     page_table = PageTable(FrameAllocator(), geometry=geometry)
-    memory = MemorySubsystem(simulator, config)
+    memory = MemorySubsystem(simulator, config, injector=injector)
     iommu = IOMMU(
         simulator,
         config.iommu,
@@ -77,10 +109,11 @@ def build_system(
         page_table_read=memory.page_table_read,
         scheduler=scheduler,
         geometry=geometry,
+        injector=injector,
     )
     gpu = GPU(simulator, config, memory, iommu)
     gpu.page_table = page_table
-    return System(
+    system = System(
         simulator=simulator,
         config=config,
         page_table=page_table,
@@ -88,6 +121,9 @@ def build_system(
         iommu=iommu,
         gpu=gpu,
     )
+    if injector is not None:
+        injector.arm(system)
+    return system
 
 
 def _resolve_workload(
@@ -98,6 +134,32 @@ def _resolve_workload(
     return get_workload(workload, scale=scale, seed=seed)
 
 
+def _validate_run_args(
+    scheduler: Optional[Union[str, WalkScheduler]],
+    num_wavefronts: int,
+    scale: float,
+    max_cycles: int,
+    watchdog_cycles: Optional[int],
+) -> None:
+    """API-boundary validation: bad inputs fail here with a clear
+    ``ValueError``, not cycles later inside a hardware model."""
+    if num_wavefronts <= 0:
+        raise ValueError(f"num_wavefronts must be positive, got {num_wavefronts}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    if max_cycles <= 0:
+        raise ValueError(f"max_cycles must be positive, got {max_cycles}")
+    if isinstance(scheduler, str) and scheduler not in available_schedulers():
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; "
+            f"available: {', '.join(available_schedulers())}"
+        )
+    if watchdog_cycles is not None and watchdog_cycles <= 0:
+        raise ValueError(
+            f"watchdog_cycles must be positive, got {watchdog_cycles}"
+        )
+
+
 def run_simulation(
     workload: Union[str, Workload],
     config: Optional[SystemConfig] = None,
@@ -106,6 +168,8 @@ def run_simulation(
     scale: float = 1.0,
     seed: int = 0,
     max_cycles: int = MAX_CYCLES,
+    watchdog_cycles: Optional[int] = None,
+    watchdog_interval_events: int = DEFAULT_CHECK_INTERVAL_EVENTS,
 ) -> SimulationResult:
     """Simulate ``workload`` to completion and return its metrics.
 
@@ -114,7 +178,15 @@ def run_simulation(
     overrides the configuration's walk-scheduling policy — either a
     registry name or a :class:`~repro.core.schedulers.WalkScheduler`
     instance (e.g. a naive reference twin).
+
+    ``watchdog_cycles`` enables the forward-progress watchdog: if no
+    instruction retires for that many cycles — or a conservation
+    invariant breaks — the run fails with a
+    :class:`~repro.resilience.watchdog.WatchdogError` carrying a full
+    :class:`~repro.resilience.watchdog.DeadlockDiagnosis` instead of
+    spinning until ``max_cycles``.
     """
+    _validate_run_args(scheduler, num_wavefronts, scale, max_cycles, watchdog_cycles)
     config = config or baseline_config()
     scheduler_instance: Optional[WalkScheduler] = None
     if isinstance(scheduler, WalkScheduler):
@@ -123,6 +195,15 @@ def run_simulation(
         config = config.with_scheduler(scheduler, seed=seed)
     bench = _resolve_workload(workload, scale=scale, seed=seed)
     system = build_system(config, scheduler=scheduler_instance)
+
+    watchdog: Optional[Watchdog] = None
+    if watchdog_cycles is not None:
+        watchdog = Watchdog(
+            system,
+            stall_cycles=watchdog_cycles,
+            check_interval_events=watchdog_interval_events,
+        )
+        watchdog.install()
 
     traces = bench.build_trace(
         num_wavefronts=num_wavefronts,
@@ -133,10 +214,24 @@ def run_simulation(
     system.simulator.run(until=max_cycles)
     wall_seconds = time.perf_counter() - wall_start
     if not system.gpu.finished:
-        raise RuntimeError(
-            f"simulation of {bench.abbrev} did not finish within "
-            f"{max_cycles} cycles ({system.simulator.pending_events} events pending)"
+        drained = system.simulator.pending_events == 0
+        reason = (
+            f"event queue drained at cycle {system.simulator.now:,d} "
+            f"with work outstanding (deadlock)"
+            if drained
+            else f"still running after max_cycles={max_cycles:,d}"
         )
+        if watchdog is not None:
+            raise WatchdogError(watchdog.diagnose(reason))
+        raise RuntimeError(
+            f"simulation of {bench.abbrev} did not finish: {reason} "
+            f"({system.simulator.pending_events} events pending; pass "
+            f"watchdog_cycles= for a structured diagnosis)"
+        )
+    if watchdog is not None:
+        # Success path: one last conservation sweep so silent model bugs
+        # cannot hide behind a run that happened to terminate.
+        watchdog.final_check()
     result = collect_result(system, bench)
     events = system.simulator.events_processed
     result.detail["engine"] = {
@@ -144,6 +239,8 @@ def run_simulation(
         "wall_seconds": wall_seconds,
         "events_per_sec": events / wall_seconds if wall_seconds > 0 else 0.0,
     }
+    if system.iommu.injector is not None:
+        result.detail["faults"] = system.iommu.injector.stats()
     return result
 
 
@@ -184,24 +281,346 @@ def _run_one_spec(spec: Mapping[str, Any]) -> SimulationResult:
     return run_simulation(**spec)
 
 
+# ----------------------------------------------------------------------
+# Resilient sweep execution
+# ----------------------------------------------------------------------
+
+
+def _spec_worker(conn, spec: Mapping[str, Any]) -> None:
+    """Child-process entry: run one spec, ship the verdict up the pipe."""
+    try:
+        result = _run_one_spec(spec)
+        conn.send(("ok", result))
+    except BaseException as exc:  # report *everything*, then die quietly
+        try:
+            conn.send(
+                (
+                    "error",
+                    type(exc).__name__,
+                    str(exc),
+                    traceback_module.format_exc(),
+                )
+            )
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class _LiveJob:
+    """One spec attempt currently running in a child process."""
+
+    __slots__ = ("index", "spec", "attempt", "process", "conn", "deadline", "started")
+
+    def __init__(self, index, spec, attempt, process, conn, deadline, started):
+        self.index = index
+        self.spec = spec
+        self.attempt = attempt
+        self.process = process
+        self.conn = conn
+        self.deadline = deadline
+        self.started = started
+
+
+def _backoff_delay(attempt: int, base: float) -> float:
+    return base * (2 ** (attempt - 1))
+
+
+def run_many_resilient(
+    specs: Sequence[Mapping[str, Any]],
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff_seconds: float = RETRY_BACKOFF_SECONDS,
+    checkpoint: Optional[str] = None,
+) -> List[RunOutcome]:
+    """Run every spec, absorbing crashes; one :class:`RunOutcome` each.
+
+    * ``jobs`` > 1 runs specs in parallel worker processes (one process
+      per job, so a crash or OOM-kill takes down exactly one attempt).
+    * ``timeout`` bounds each attempt in wall-clock seconds; an overdue
+      worker is terminated and the job marked/retried.
+    * ``retries`` re-runs a failed/crashed/timed-out job up to that many
+      extra attempts, with exponential backoff from ``backoff_seconds``.
+    * ``checkpoint`` names a directory where successful results persist;
+      a re-invocation with the same specs resumes from completed jobs.
+
+    Outcomes come back in spec order.  Serial runs without a timeout
+    execute in-process (identical to :func:`run_simulation` in a loop);
+    any parallelism or timeout switches to child processes — results are
+    identical either way because workers run the same deterministic
+    code on the same picklable specs.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be non-negative, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    specs = [dict(spec) for spec in specs]
+    outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+    store = CheckpointStore(checkpoint) if checkpoint else None
+
+    todo: List[int] = []
+    for index, spec in enumerate(specs):
+        if store is not None:
+            cached = store.load(spec)
+            if cached is not None:
+                outcomes[index] = RunOutcome(
+                    index=index,
+                    spec_summary=describe_spec(spec),
+                    status=STATUS_OK,
+                    result=cached,
+                    attempts=0,
+                    from_checkpoint=True,
+                )
+                continue
+        todo.append(index)
+
+    if todo:
+        # Asking for jobs > 1 is asking for isolation, even on a single
+        # remaining spec — never let a crashing job share our process.
+        max_workers = 1 if jobs is None else max(1, jobs)
+        use_processes = (jobs is not None and jobs > 1) or timeout is not None
+        if use_processes:
+            _run_in_processes(
+                specs, todo, outcomes, max_workers, timeout, retries,
+                backoff_seconds, store,
+            )
+        else:
+            _run_in_process(specs, todo, outcomes, retries, backoff_seconds, store)
+
+    assert all(outcome is not None for outcome in outcomes)
+    return outcomes  # type: ignore[return-value]
+
+
+def _finish_ok(outcomes, store, specs, index, result, attempt, started) -> None:
+    outcomes[index] = RunOutcome(
+        index=index,
+        spec_summary=describe_spec(specs[index]),
+        status=STATUS_OK,
+        result=result,
+        attempts=attempt,
+        elapsed_seconds=time.monotonic() - started,
+    )
+    if store is not None:
+        store.store(specs[index], result)
+
+
+def _run_in_process(specs, todo, outcomes, retries, backoff_seconds, store) -> None:
+    """Serial fallback: same retry semantics, no process isolation."""
+    for index in todo:
+        started = time.monotonic()
+        for attempt in range(1, retries + 2):
+            try:
+                result = _run_one_spec(specs[index])
+            except Exception as exc:
+                if attempt <= retries:
+                    time.sleep(_backoff_delay(attempt, backoff_seconds))
+                    continue
+                outcomes[index] = RunOutcome(
+                    index=index,
+                    spec_summary=describe_spec(specs[index]),
+                    status=STATUS_FAILED,
+                    error=str(exc),
+                    error_type=type(exc).__name__,
+                    traceback=traceback_module.format_exc(),
+                    attempts=attempt,
+                    elapsed_seconds=time.monotonic() - started,
+                )
+                break
+            else:
+                _finish_ok(outcomes, store, specs, index, result, attempt, started)
+                break
+
+
+def _run_in_processes(
+    specs, todo, outcomes, max_workers, timeout, retries, backoff_seconds, store
+) -> None:
+    """Process-per-job executor: crash isolation, timeouts, retries."""
+    import multiprocessing as mp
+    from multiprocessing.connection import wait as conn_wait
+
+    ctx = mp.get_context()
+    #: (ready_time, index, attempt) waiting to launch.
+    queued: List[tuple] = [(0.0, index, 1) for index in todo]
+    live: List[_LiveJob] = []
+    #: First-attempt start per index, for elapsed accounting.
+    first_started: Dict[int, float] = {}
+
+    def launch(index: int, attempt: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_spec_worker, args=(child_conn, specs[index]), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        now = time.monotonic()
+        first_started.setdefault(index, now)
+        live.append(
+            _LiveJob(
+                index=index,
+                spec=specs[index],
+                attempt=attempt,
+                process=process,
+                conn=parent_conn,
+                deadline=(now + timeout) if timeout is not None else None,
+                started=now,
+            )
+        )
+
+    def settle(job: _LiveJob, status: str, error_type, error, tb) -> None:
+        """A job attempt ended badly: retry within budget or record it."""
+        if job.attempt <= retries:
+            ready = time.monotonic() + _backoff_delay(job.attempt, backoff_seconds)
+            queued.append((ready, job.index, job.attempt + 1))
+            return
+        outcomes[job.index] = RunOutcome(
+            index=job.index,
+            spec_summary=describe_spec(job.spec),
+            status=status,
+            error=error,
+            error_type=error_type,
+            traceback=tb,
+            attempts=job.attempt,
+            elapsed_seconds=time.monotonic() - first_started[job.index],
+        )
+
+    def reap(job: _LiveJob) -> None:
+        live.remove(job)
+        job.conn.close()
+        job.process.join(timeout=5)
+        if job.process.is_alive():  # terminate() ignored; escalate
+            job.process.kill()
+            job.process.join(timeout=5)
+
+    try:
+        while queued or live:
+            now = time.monotonic()
+            # Launch everything ready while worker slots are free.
+            queued.sort()
+            while queued and len(live) < max_workers and queued[0][0] <= now:
+                _, index, attempt = queued.pop(0)
+                launch(index, attempt)
+
+            if not live:
+                # Only backoff-delayed retries remain: sleep to the next.
+                if queued:
+                    time.sleep(max(0.0, queued[0][0] - time.monotonic()))
+                continue
+
+            # Wake on the first message, the nearest deadline, or the
+            # nearest queued retry becoming ready.
+            wake_at = [job.deadline for job in live if job.deadline is not None]
+            if queued and len(live) < max_workers:
+                wake_at.append(queued[0][0])
+            wait_timeout = None
+            if wake_at:
+                wait_timeout = max(0.0, min(wake_at) - time.monotonic())
+            ready = conn_wait([job.conn for job in live], timeout=wait_timeout)
+
+            for conn in ready:
+                job = next(j for j in live if j.conn is conn)
+                try:
+                    message = conn.recv()
+                except EOFError:
+                    # The worker died without reporting: crash isolation.
+                    reap(job)
+                    code = job.process.exitcode
+                    settle(
+                        job,
+                        STATUS_FAILED,
+                        "WorkerCrash",
+                        f"worker process died with exit code {code}",
+                        None,
+                    )
+                    continue
+                reap(job)
+                if message[0] == "ok":
+                    _finish_ok(
+                        outcomes, store, specs, job.index, message[1],
+                        job.attempt, first_started[job.index],
+                    )
+                else:
+                    _, error_type, error, tb = message
+                    settle(job, STATUS_FAILED, error_type, error, tb)
+
+            # Enforce deadlines on whoever is still running.
+            if timeout is not None:
+                now = time.monotonic()
+                for job in [j for j in live if j.deadline is not None and j.deadline <= now]:
+                    job.process.terminate()
+                    reap(job)
+                    settle(
+                        job,
+                        STATUS_TIMEOUT,
+                        "Timeout",
+                        f"exceeded {timeout:g}s wall-clock budget",
+                        None,
+                    )
+    finally:
+        for job in live:
+            job.process.terminate()
+            job.conn.close()
+            job.process.join(timeout=5)
+            if job.process.is_alive():
+                job.process.kill()
+
+
 def run_many(
     specs: Sequence[Mapping[str, Any]],
     jobs: Optional[int] = None,
-) -> List[SimulationResult]:
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    checkpoint: Optional[str] = None,
+    return_outcomes: bool = False,
+) -> Union[List[SimulationResult], List[RunOutcome]]:
     """Run many simulations, optionally across worker processes.
 
     Each spec is a mapping of :func:`run_simulation` keyword arguments.
-    With ``jobs`` > 1 the runs fan out over a
-    :class:`~concurrent.futures.ProcessPoolExecutor`; each worker builds
-    its own system from the (picklable) spec, so results are identical
-    to the serial path — simulations share no mutable state.  Results
-    come back in spec order either way.
+    With ``jobs`` > 1 the runs fan out over per-job worker processes;
+    each worker builds its own system from the (picklable) spec, so
+    results are identical to the serial path — simulations share no
+    mutable state.  Results come back in spec order either way.
+
+    By default this returns plain :class:`SimulationResult`\\ s and
+    raises :class:`~repro.resilience.outcomes.SpecExecutionError` —
+    naming the failing spec and attaching the worker traceback — if any
+    job ultimately fails.  Pass ``return_outcomes=True`` (or use
+    :func:`run_many_resilient` directly) to receive one
+    :class:`~repro.resilience.outcomes.RunOutcome` per spec instead,
+    with failures recorded rather than raised.  ``timeout``, ``retries``
+    and ``checkpoint`` are forwarded to the resilient executor.
     """
-    specs = list(specs)
-    if jobs is None or jobs <= 1 or len(specs) <= 1:
-        return [_run_one_spec(spec) for spec in specs]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-        return list(pool.map(_run_one_spec, specs))
+    outcomes = run_many_resilient(
+        specs, jobs=jobs, timeout=timeout, retries=retries, checkpoint=checkpoint
+    )
+    if return_outcomes:
+        return outcomes
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise SpecExecutionError(outcome)
+    return [outcome.result for outcome in outcomes]
+
+
+def scheduler_sweep_specs(
+    workload: Union[str, Workload],
+    schedulers: Sequence[str],
+    config: Optional[SystemConfig] = None,
+    num_wavefronts: int = DEFAULT_WAVEFRONTS,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> List[Dict[str, Any]]:
+    """One :func:`run_simulation` spec per scheduler, identical otherwise."""
+    return [
+        {
+            "workload": workload,
+            "config": config,
+            "scheduler": name,
+            "num_wavefronts": num_wavefronts,
+            "scale": scale,
+            "seed": seed,
+        }
+        for name in schedulers
+    ]
 
 
 def compare_schedulers(
@@ -221,16 +640,13 @@ def compare_schedulers(
     per scheduler, capped at ``jobs``); results are identical to the
     serial path.
     """
-    specs = [
-        {
-            "workload": workload,
-            "config": config,
-            "scheduler": name,
-            "num_wavefronts": num_wavefronts,
-            "scale": scale,
-            "seed": seed,
-        }
-        for name in schedulers
-    ]
+    specs = scheduler_sweep_specs(
+        workload,
+        schedulers,
+        config=config,
+        num_wavefronts=num_wavefronts,
+        scale=scale,
+        seed=seed,
+    )
     results = run_many(specs, jobs=jobs)
     return dict(zip(schedulers, results))

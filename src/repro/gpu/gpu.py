@@ -49,6 +49,9 @@ class GPU:
         self.l2_tlb = TLB(config.gpu_l2_tlb, name="gpu_l2_tlb")
 
         self.instruction_records: List[InstructionRecord] = []
+        #: Dynamic instructions retired so far — the watchdog's
+        #: forward-progress signal (a healthy run retires continuously).
+        self.instructions_retired = 0
         self._instruction_counter = 0
         self._wavefront_counter = 0
         self._pending_traces: Deque = deque()
@@ -146,9 +149,18 @@ class GPU:
             for cu in self.cus:
                 cu.finalize()
 
+    def note_instruction_retired(self) -> None:
+        """Record one dynamic instruction retiring (watchdog heartbeat)."""
+        self.instructions_retired += 1
+
     @property
     def finished(self) -> bool:
         return self.completion_time is not None
+
+    @property
+    def running_wavefronts(self) -> int:
+        """Wavefronts currently resident (including reserved slots)."""
+        return self._running_wavefronts
 
     @property
     def wavefronts_launched(self) -> int:

@@ -156,6 +156,7 @@ class Wavefront:
             # A no-op instruction (all lanes inactive): retires instantly
             # and never occupies an in-flight slot.
             record.complete_time = gpu.sim.now
+            gpu.note_instruction_retired()
             return
 
         self._outstanding += 1
@@ -288,6 +289,7 @@ class Wavefront:
     def _instruction_complete(self, inflight: _InflightInstruction) -> None:
         gpu = self._gpu
         inflight.record.complete_time = gpu.sim.now
+        gpu.note_instruction_retired()
         self._outstanding -= 1
         if self._pc >= len(self._trace):
             if self._outstanding == 0:

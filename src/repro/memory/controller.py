@@ -20,7 +20,7 @@ so it can stand in wherever the reservation-based model is used.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import LINE_SIZE, DRAMConfig
 from repro.engine.simulator import Simulator
@@ -51,7 +51,11 @@ class QueuedMemoryController:
     POLICIES = ("fcfs", "frfcfs")
 
     def __init__(
-        self, simulator: Simulator, config: DRAMConfig, policy: str = "frfcfs"
+        self,
+        simulator: Simulator,
+        config: DRAMConfig,
+        policy: str = "frfcfs",
+        latency_padding: Optional[Callable[[int], int]] = None,
     ) -> None:
         if policy not in self.POLICIES:
             raise ValueError(
@@ -60,6 +64,10 @@ class QueuedMemoryController:
         self._sim = simulator
         self.config = config
         self.policy = policy
+        #: Optional ``f(now) -> extra_cycles`` hook; fault injection uses
+        #: it to spike access latency inside chosen cycle windows.
+        self._latency_padding = latency_padding
+        self.padded_accesses = 0
         self._banks: List[_Bank] = [_Bank() for _ in range(config.total_banks)]
         self._queues: Dict[int, List[_Request]] = {}
         self._arrival_seq = 0
@@ -113,6 +121,11 @@ class QueuedMemoryController:
             latency = cfg.t_rp + cfg.t_rcd + cfg.t_cas
             self.row_conflicts += 1
             bank.open_row = request.row
+        if self._latency_padding is not None:
+            extra = self._latency_padding(self._sim.now)
+            if extra > 0:
+                latency += extra
+                self.padded_accesses += 1
         bank.busy = True
         self.reads += 1
         self._sim.after(latency, lambda: self._complete(bank_index, request))

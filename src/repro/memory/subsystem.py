@@ -30,9 +30,14 @@ class MemorySubsystem:
         bypasses the GPU caches.
     """
 
-    def __init__(self, simulator: Simulator, config: SystemConfig) -> None:
+    def __init__(
+        self, simulator: Simulator, config: SystemConfig, injector=None
+    ) -> None:
         self._sim = simulator
         self._config = config
+        #: Optional fault injector; supplies DRAM latency spikes.
+        self._injector = injector
+        padding = injector.dram_padding if injector is not None else None
         self.l1_caches: List[SetAssociativeCache] = [
             SetAssociativeCache(config.l1_cache, name=f"l1d[{cu}]")
             for cu in range(config.gpu.num_cus)
@@ -44,7 +49,10 @@ class MemorySubsystem:
         else:
             self.dram = None
             self.controller = QueuedMemoryController(
-                simulator, config.dram, policy=config.dram.controller
+                simulator,
+                config.dram,
+                policy=config.dram.controller,
+                latency_padding=padding,
             )
         self.data_accesses = 0
         self.page_table_reads = 0
@@ -67,7 +75,10 @@ class MemorySubsystem:
         self.l2_cache.fill(line)
         l1.fill(line)
         if self.dram is not None:
-            done = self.dram.access(physical_address, self._sim.now + l2_latency)
+            start = self._sim.now + l2_latency
+            done = self.dram.access(physical_address, start)
+            if self._injector is not None:
+                done += self._injector.dram_padding(start)
             self._sim.at(done, on_complete)
         else:
             assert self.controller is not None
@@ -87,6 +98,8 @@ class MemorySubsystem:
         self.page_table_reads += 1
         if self.dram is not None:
             done = self.dram.access(physical_address, self._sim.now)
+            if self._injector is not None:
+                done += self._injector.dram_padding(self._sim.now)
             self._sim.at(done, on_complete)
         else:
             assert self.controller is not None

@@ -54,11 +54,15 @@ class IOMMU:
         page_table_read: Callable[[int, Callable[[], None]], None],
         scheduler: Optional[WalkScheduler] = None,
         geometry: PageGeometry = BASE_4K,
+        injector=None,
     ) -> None:
         self._sim = simulator
         self.config = config
         self._page_table = page_table
         self.geometry = geometry
+        #: Optional :class:`~repro.resilience.faults.FaultInjector`; the
+        #: watchdog reads its stats into deadlock diagnoses.
+        self.injector = injector
         self.l1_tlb = TLB(config.l1_tlb, name="iommu_l1_tlb")
         self.l2_tlb = TLB(config.l2_tlb, name="iommu_l2_tlb")
         self.pwc = PageWalkCache(config.pwc, geometry=geometry)
@@ -73,7 +77,10 @@ class IOMMU:
             config.buffer_entries, track_scores=self.scheduler.needs_scores
         )
         self.walkers: List[PageTableWalker] = [
-            PageTableWalker(i, simulator, page_table, self.pwc, page_table_read)
+            PageTableWalker(
+                i, simulator, page_table, self.pwc, page_table_read,
+                injector=injector,
+            )
             for i in range(config.num_walkers)
         ]
         self._overflow: Deque[TranslationRequest] = deque()
@@ -309,6 +316,72 @@ class IOMMU:
         entry = WalkBufferEntry(request, arrival_seq=-1, arrival_time=self._sim.now)
         self._dispatch(walker, entry)
 
+    def resume_walkers(self) -> None:
+        """Re-kick scheduling after an external walker state change.
+
+        Fault injection stalls walkers on a timer; when a stall lifts
+        there may be buffered work but no in-flight completion left to
+        trigger :meth:`_schedule_next`, so the injector pokes this.
+        """
+        self._drain_overflow()
+        self._schedule_next()
+
+    # ------------------------------------------------------------------
+    # Introspection and invariants (watchdog / resilience support)
+    # ------------------------------------------------------------------
+
+    @property
+    def overflow_queued(self) -> int:
+        """Requests waiting in the FIFO overflow queue right now."""
+        return len(self._overflow)
+
+    def in_flight_entries(self) -> List[WalkBufferEntry]:
+        """Every walk currently owned by a walker (including wedged ones)."""
+        return [entry for entries in self._walking.values() for entry in entries]
+
+    def walks_completed(self) -> int:
+        """Walks (demand + prefetch) whose completion was delivered."""
+        return sum(walker.walks_completed for walker in self.walkers)
+
+    def check_conservation(self) -> List[str]:
+        """Verify no walk has been lost; returns violation descriptions.
+
+        The load-bearing invariant is ``dispatched == completed + in
+        flight``: it holds at every event boundary, under coalescing,
+        prefetching, delayed completions and wedged walkers alike.  A
+        violation means the model silently dropped or double-counted a
+        walk — the class of bug that otherwise surfaces cycles later as
+        an inexplicable hang.
+        """
+        violations: List[str] = []
+        dispatched = self.walks_dispatched + self.prefetch_walks
+        completed = self.walks_completed()
+        in_flight = sum(len(entries) for entries in self._walking.values())
+        if dispatched != completed + in_flight:
+            violations.append(
+                f"walk conservation: dispatched={dispatched} != "
+                f"completed={completed} + in_flight={in_flight}"
+            )
+        if len(self.buffer) > self.buffer.capacity:
+            violations.append(
+                f"buffer over capacity: {len(self.buffer)} > {self.buffer.capacity}"
+            )
+        if self._overflow and not self.buffer.is_full:
+            violations.append(
+                f"overflow queue holds {len(self._overflow)} requests "
+                f"while the buffer has free slots"
+            )
+        for walker in self.walkers:
+            current = walker.current_entry
+            if current is not None and current not in self._walking.get(
+                current.vpn, []
+            ):
+                violations.append(
+                    f"walker {walker.walker_id} holds vpn={current.vpn:#x} "
+                    f"missing from the in-flight index"
+                )
+        return violations
+
     # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
@@ -340,6 +413,7 @@ class IOMMU:
             "requests": self.requests,
             "tlb_hits": self.tlb_hits,
             "walks_dispatched": self.walks_dispatched,
+            "walks_completed": self.walks_completed(),
             "interleaved_fraction": self.interleaved_instruction_fraction(),
             "l1_tlb": self.l1_tlb.stats(),
             "l2_tlb": self.l2_tlb.stats(),

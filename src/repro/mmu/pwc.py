@@ -176,6 +176,26 @@ class PageWalkCache:
         for level in self._cached_levels:
             self._levels[level].insert(self.geometry.vpn_prefix(vpn, level))
 
+    def flush(self) -> int:
+        """Invalidate every cached entry at every level (fault injection).
+
+        Counter pins vanish with their entries — pending requests scored
+        against flushed entries simply re-walk from the root, which is
+        the safe, conservative outcome.  Returns entries discarded.
+        """
+        discarded = 0
+        for cache in self._levels.values():
+            for entries in cache._sets:
+                discarded += len(entries)
+                entries.clear()
+        return discarded
+
+    @property
+    def occupancy(self) -> int:
+        return sum(
+            len(entries) for cache in self._levels.values() for entries in cache._sets
+        )
+
     def stats(self) -> Dict[str, Dict[str, int]]:
         return {
             f"level{level}": {

@@ -76,6 +76,23 @@ class TLB:
         for entries in self._sets:
             entries.clear()
 
+    def corrupt(self, rng, count: int) -> int:
+        """Invalidate up to ``count`` seeded-random entries (fault injection).
+
+        Models ECC-*detected* corruption: a bad entry is discarded, never
+        served, so the translation is simply re-walked.  Victims are
+        sampled with ``rng`` over a deterministically-ordered view of the
+        resident VPNs, keeping campaigns reproducible.  Returns the
+        number of entries actually invalidated.
+        """
+        resident = sorted(vpn for entries in self._sets for vpn in entries)
+        if not resident:
+            return 0
+        victims = rng.sample(resident, min(count, len(resident)))
+        for vpn in victims:
+            self.invalidate(vpn)
+        return len(victims)
+
     @property
     def occupancy(self) -> int:
         return sum(len(entries) for entries in self._sets)

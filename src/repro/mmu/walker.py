@@ -6,6 +6,13 @@ to find the deepest cached level, then performs the remaining one to four
 the next level's table, so the reads cannot overlap).  On completion it
 installs the discovered upper-level entries into the PWCs and hands the
 leaf translation back to the IOMMU.
+
+Fault injection (``repro.resilience``) taps two points here: a
+completion may be *delayed* (the walker holds its result — and stays
+busy — for extra cycles) or *dropped* (the walker wedges and the
+completion signal is lost, manufacturing a diagnosable deadlock).  A
+walker may also be *stalled*: ``stalled_until`` makes it refuse new
+dispatches without affecting a walk already in progress.
 """
 
 from __future__ import annotations
@@ -31,21 +38,30 @@ class PageTableWalker:
         page_table: PageTable,
         pwc: PageWalkCache,
         page_table_read: Callable[[int, Callable[[], None]], None],
+        injector=None,
     ) -> None:
         self.walker_id = walker_id
         self._sim = simulator
         self._page_table = page_table
         self._pwc = pwc
         self._page_table_read = page_table_read
+        #: Optional :class:`~repro.resilience.faults.FaultInjector`.
+        self._injector = injector
         self._current: Optional[WalkBufferEntry] = None
         self.walks_completed = 0
         self.memory_accesses = 0
         self.busy_cycles = 0
+        #: The walker refuses new dispatches until this cycle
+        #: (fault injection: ``stall_walker``).
+        self.stalled_until = 0
+        #: True once a completion was dropped — the walker is wedged for
+        #: the rest of the run (fault injection: ``drop_walk_completion``).
+        self.wedged = False
         self._walk_start = 0
 
     @property
     def is_busy(self) -> bool:
-        return self._current is not None
+        return self._current is not None or self._sim.now < self.stalled_until
 
     @property
     def current_entry(self) -> Optional[WalkBufferEntry]:
@@ -87,6 +103,31 @@ class PageTableWalker:
     ) -> None:
         pfn = self._page_table.translate(entry.vpn)
         self._pwc.fill(entry.vpn)
+        if self._injector is not None:
+            action, extra = self._injector.on_walk_completion(
+                self.walker_id, entry, self._sim.now
+            )
+            if action == "drop":
+                # The completion signal is lost: the walker wedges with
+                # the entry still attached, so the conservation invariant
+                # (dispatched == completed + in flight) keeps holding and
+                # the watchdog can name the stuck walk.
+                self.wedged = True
+                return
+            if action == "delay" and extra > 0:
+                self._sim.after(
+                    extra, lambda: self._deliver(entry, accesses, pfn, on_complete)
+                )
+                return
+        self._deliver(entry, accesses, pfn, on_complete)
+
+    def _deliver(
+        self,
+        entry: WalkBufferEntry,
+        accesses: int,
+        pfn: int,
+        on_complete: WalkCompletion,
+    ) -> None:
         self.walks_completed += 1
         self.busy_cycles += self._sim.now - self._walk_start
         self._current = None

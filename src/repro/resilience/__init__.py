@@ -1,0 +1,65 @@
+"""Resilience subsystem: fault injection, watchdog, outcome records.
+
+Three coordinated layers (see ``docs/RESILIENCE.md``):
+
+* :mod:`repro.resilience.faults` — a seeded, declarative
+  :class:`FaultPlan` wired through :class:`~repro.config.SystemConfig`
+  that perturbs walkers, TLBs, PWCs and DRAM at chosen cycles;
+* :mod:`repro.resilience.watchdog` — a forward-progress monitor and
+  invariant checker that turns hangs and silent model bugs into
+  structured :class:`DeadlockDiagnosis` reports;
+* :mod:`repro.resilience.outcomes` — per-job :class:`RunOutcome`
+  records and checkpointing for crash-isolated sweeps.
+"""
+
+from repro.resilience.campaign import (
+    campaign_cases,
+    generate_plan,
+    render_campaign,
+    run_campaign,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    SAFE_KINDS,
+    TLB_SITES,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    build_injector,
+)
+from repro.resilience.outcomes import (
+    CheckpointStore,
+    RunOutcome,
+    SpecExecutionError,
+    describe_spec,
+    spec_key,
+)
+from repro.resilience.watchdog import (
+    DeadlockDiagnosis,
+    InvariantViolation,
+    Watchdog,
+    WatchdogError,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "SAFE_KINDS",
+    "TLB_SITES",
+    "CheckpointStore",
+    "DeadlockDiagnosis",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantViolation",
+    "RunOutcome",
+    "SpecExecutionError",
+    "Watchdog",
+    "WatchdogError",
+    "build_injector",
+    "campaign_cases",
+    "describe_spec",
+    "generate_plan",
+    "render_campaign",
+    "run_campaign",
+    "spec_key",
+]

@@ -1,0 +1,225 @@
+"""Fault injection: plan validation, determinism, golden equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config_io import config_from_dict, config_to_dict
+from repro.experiments.runner import run_simulation
+from repro.resilience.campaign import campaign_cases, generate_plan, run_campaign
+from repro.resilience.faults import (
+    SAFE_KINDS,
+    FaultEvent,
+    FaultPlan,
+    build_injector,
+)
+
+from tests.conftest import tiny_config
+
+#: Watchdog budget used throughout: huge next to tiny-config runtimes
+#: (~60k cycles) but tiny next to the 2e9-cycle safety valve.
+WATCHDOG = 5_000_000
+
+
+def _tiny_run(plan=None, workload="MVT", scheduler="fcfs", **kwargs):
+    config = tiny_config(scheduler)
+    if plan is not None:
+        config = config.with_faults(plan)
+    return run_simulation(
+        workload, config=config, num_wavefronts=8, scale=0.05, seed=1, **kwargs
+    )
+
+
+def _fingerprint(result):
+    """Everything deterministic about a run (timing fields excluded)."""
+    return (
+        result.workload,
+        result.scheduler,
+        result.total_cycles,
+        result.instructions,
+        result.stall_cycles,
+        result.walks_dispatched,
+        result.walk_memory_accesses,
+        result.first_walk_latency,
+        result.last_walk_latency,
+    )
+
+
+# ----------------------------------------------------------------------
+# Plan validation
+# ----------------------------------------------------------------------
+
+
+def test_unknown_fault_kind_rejected():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultEvent("melt_everything")
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"kind": "flush_tlb"},                                  # missing site
+        {"kind": "corrupt_tlb", "site": "l9"},                  # bad site
+        {"kind": "stall_walker", "duration": 10},               # missing target
+        {"kind": "stall_walker", "target": 0},                  # missing duration
+        {"kind": "delay_walk_completion"},                      # no magnitude
+        {"kind": "dram_spike", "duration": 5},                  # no magnitude
+        {"kind": "flush_pwc", "at_cycle": -1},                  # negative cycle
+        {"kind": "flush_pwc", "count": 0},                      # zero count
+    ],
+)
+def test_malformed_fault_events_rejected(kwargs):
+    with pytest.raises(ValueError):
+        FaultEvent(**kwargs)
+
+
+def test_plan_classification():
+    safe = FaultPlan(events=[FaultEvent("flush_pwc", at_cycle=10)])
+    assert safe.is_safe and not safe.is_empty
+    assert safe.events == (FaultEvent("flush_pwc", at_cycle=10),)  # list → tuple
+    lossy = FaultPlan(events=(FaultEvent("drop_walk_completion"),))
+    assert not lossy.is_safe
+    assert lossy.of_kind("drop_walk_completion") == lossy.events
+    assert lossy.of_kind("flush_pwc") == ()
+
+
+def test_empty_plan_builds_no_injector():
+    assert build_injector(None) is None
+    assert build_injector(FaultPlan()) is None
+    assert build_injector(FaultPlan(events=(FaultEvent("flush_pwc"),))) is not None
+
+
+# ----------------------------------------------------------------------
+# Golden equivalence: the fault-free path is untouched
+# ----------------------------------------------------------------------
+
+
+def test_empty_plan_bit_identical_to_no_plan():
+    bare = _tiny_run(plan=None)
+    empty = _tiny_run(plan=FaultPlan(seed=123))
+    assert _fingerprint(bare) == _fingerprint(empty)
+    # No injector → no fault stats reported on either run.
+    assert "faults" not in bare.detail
+    assert "faults" not in empty.detail
+
+
+def test_watchdog_does_not_perturb_results():
+    plain = _tiny_run()
+    watched = _tiny_run(watchdog_cycles=WATCHDOG)
+    assert _fingerprint(plain) == _fingerprint(watched)
+
+
+# ----------------------------------------------------------------------
+# Determinism and conservation under injection
+# ----------------------------------------------------------------------
+
+
+def _mixed_safe_plan(seed=99):
+    return FaultPlan(
+        seed=seed,
+        events=(
+            FaultEvent("flush_tlb", at_cycle=5_000, site="gpu_l2"),
+            FaultEvent("corrupt_tlb", at_cycle=8_000, site="iommu_l2", count=4),
+            FaultEvent("flush_pwc", at_cycle=12_000),
+            FaultEvent("stall_walker", at_cycle=3_000, target=1, duration=4_000),
+            FaultEvent("delay_walk_completion", at_cycle=2_000, magnitude=500, count=4),
+            FaultEvent("dram_spike", at_cycle=10_000, duration=6_000, magnitude=150),
+        ),
+    )
+
+
+def test_identical_plan_and_spec_identical_results():
+    first = _tiny_run(plan=_mixed_safe_plan(), watchdog_cycles=WATCHDOG)
+    second = _tiny_run(plan=_mixed_safe_plan(), watchdog_cycles=WATCHDOG)
+    assert _fingerprint(first) == _fingerprint(second)
+    assert first.detail["faults"] == second.detail["faults"]
+
+
+def test_safe_plan_completes_all_work():
+    faulty = _tiny_run(plan=_mixed_safe_plan(), watchdog_cycles=WATCHDOG)
+    clean = _tiny_run()
+    # Perturbed, not lost: same instruction count retires, and the run
+    # passed the watchdog's end-of-run conservation sweep.
+    assert faulty.instructions == clean.instructions
+    injected = faulty.detail["faults"]["injected"]
+    for kind in ("flush_tlb", "corrupt_tlb", "flush_pwc", "stall_walker",
+                 "delay_walk_completion", "dram_spike"):
+        assert injected.get(kind, 0) > 0, f"{kind} never fired"
+    assert faulty.detail["faults"]["dropped_completions"] == 0
+
+
+def test_faults_actually_perturb_timing():
+    clean = _tiny_run()
+    faulty = _tiny_run(plan=_mixed_safe_plan(), watchdog_cycles=WATCHDOG)
+    # Perturbation must change timing (either direction — an injected
+    # flush can accidentally *improve* interleaving on a tiny run).
+    assert _fingerprint(faulty) != _fingerprint(clean)
+
+
+def test_delay_fault_keeps_conservation():
+    plan = FaultPlan(
+        events=(FaultEvent("delay_walk_completion", at_cycle=0,
+                           magnitude=2_000, count=8),)
+    )
+    result = _tiny_run(plan=plan, watchdog_cycles=WATCHDOG)
+    assert result.detail["faults"]["injected"]["delay_walk_completion"] == 8
+    iommu = result.detail["iommu"]
+    assert iommu["walks_completed"] == (
+        iommu["walks_dispatched"] + iommu.get("prefetch_walks", 0)
+    )
+
+
+# ----------------------------------------------------------------------
+# Serialisation: plans ride the config tree
+# ----------------------------------------------------------------------
+
+
+def test_fault_plan_config_round_trip():
+    config = tiny_config().with_faults(_mixed_safe_plan(seed=7))
+    rebuilt = config_from_dict(config_to_dict(config))
+    assert rebuilt.faults == config.faults
+    assert rebuilt == config
+
+
+def test_fault_plan_unknown_keys_rejected():
+    data = config_to_dict(tiny_config().with_faults(FaultPlan(seed=1)))
+    data["faults"]["surprise"] = 1
+    with pytest.raises(ValueError, match="unknown FaultPlan keys"):
+        config_from_dict(data)
+
+
+def test_configless_round_trip_keeps_faults_none():
+    config = tiny_config()
+    assert config_from_dict(config_to_dict(config)).faults is None
+
+
+# ----------------------------------------------------------------------
+# Campaign: seeded matrix, deterministic end to end
+# ----------------------------------------------------------------------
+
+
+def test_campaign_cases_deterministic():
+    first = campaign_cases(seed=5, runs=4)
+    second = campaign_cases(seed=5, runs=4)
+    assert [case["workload"] for case in first] == [
+        case["workload"] for case in second
+    ]
+    assert [case["config"].faults for case in first] == [
+        case["config"].faults for case in second
+    ]
+    assert all(case["config"].faults.is_safe for case in first)
+
+
+def test_generate_plan_seeded():
+    assert generate_plan(3) == generate_plan(3)
+    assert generate_plan(3) != generate_plan(4)
+
+
+def test_run_campaign_deterministic_and_complete():
+    first = run_campaign(seed=11, runs=2)
+    second = run_campaign(seed=11, runs=2)
+    assert first == second
+    assert first["completed"] == first["runs"] == 2
+    for case in first["cases"]:
+        assert case["status"] == "ok"
+        assert case["faults_injected"]

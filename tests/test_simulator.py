@@ -102,3 +102,94 @@ def test_same_cycle_events_fifo_order():
     sim.after(5, lambda: order.append(3))
     sim.run()
     assert order == [1, 2, 3]
+
+
+def test_until_and_max_events_whichever_first():
+    # max_events binds first: only 2 of the 4 events inside the window fire.
+    sim = Simulator()
+    fired = []
+    for i in range(4):
+        sim.after(i + 1, lambda i=i: fired.append(i))
+    sim.run(until=10, max_events=2)
+    assert fired == [0, 1]
+    assert sim.now == 2
+    assert sim.pending_events == 2
+    # until binds first on the remainder: the clock lands on the cutoff.
+    sim.run(until=3, max_events=100)
+    assert fired == [0, 1, 2]
+    assert sim.now == 3
+    assert sim.pending_events == 1
+
+
+def test_clock_stays_at_last_event_when_drained_before_until():
+    # Deliberate semantics: a queue that empties before `until` leaves
+    # the clock at the last fired event, not at the horizon — a deadlock
+    # diagnosis needs the cycle work stopped, not the max_cycles bound.
+    sim = Simulator()
+    sim.after(7, lambda: None)
+    assert sim.run(until=1_000_000) == 7
+    assert sim.now == 7
+    assert sim.pending_events == 0
+
+
+def test_step_on_empty_queue_is_inert():
+    sim = Simulator()
+    assert sim.step() is False
+    assert sim.now == 0
+    assert sim.events_processed == 0
+    sim.after(3, lambda: None)
+    sim.run()
+    assert sim.step() is False
+    assert sim.now == 3
+    assert sim.events_processed == 1
+
+
+def test_reentrant_callback_scheduling_at_now_fires_same_run():
+    sim = Simulator()
+    trace = []
+
+    def outer():
+        trace.append(("outer", sim.now))
+        sim.after(0, lambda: trace.append(("inner", sim.now)))
+
+    sim.after(5, outer)
+    sim.run()
+    assert trace == [("outer", 5), ("inner", 5)]
+    assert sim.now == 5
+    assert sim.events_processed == 2
+
+
+def test_monitor_fires_every_interval():
+    sim = Simulator()
+    ticks = []
+    for i in range(10):
+        sim.after(i, lambda: None)
+    sim.set_monitor(lambda: ticks.append(sim.events_processed), interval_events=3)
+    sim.run()
+    # Fires after the 3rd, 6th and 9th events (counter snapshots taken
+    # mid-run read the pre-run total).
+    assert len(ticks) == 3
+
+
+def test_monitor_exception_aborts_run_with_consistent_counts():
+    sim = Simulator()
+    for i in range(10):
+        sim.after(i, lambda: None)
+
+    def tripwire():
+        raise RuntimeError("tripped")
+
+    sim.set_monitor(tripwire, interval_events=4)
+    with pytest.raises(RuntimeError, match="tripped"):
+        sim.run()
+    assert sim.events_processed == 4
+    assert sim.pending_events == 6
+    # Clearing the monitor lets the run finish.
+    sim.set_monitor(None)
+    sim.run()
+    assert sim.events_processed == 10
+
+
+def test_monitor_invalid_interval_rejected():
+    with pytest.raises(ValueError):
+        Simulator().set_monitor(lambda: None, interval_events=0)

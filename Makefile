@@ -1,6 +1,6 @@
 # Developer conveniences for the repro package.
 
-.PHONY: install test bench perf figures quicktest faults clean
+.PHONY: install test bench perf figures quicktest faults trace overhead clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,6 +19,12 @@ perf:
 
 faults:
 	python -m repro faults --seed 2018 --runs 8 --jobs 2 --timeout 300
+
+trace:
+	python -m repro trace mvt --scale 0.2 --out trace.json --jsonl trace.jsonl
+
+overhead:
+	python benchmarks/perf/tracing_overhead.py
 
 figures:
 	python -m repro figure table1

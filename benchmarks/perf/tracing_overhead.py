@@ -1,0 +1,191 @@
+"""Tracing overhead guard: the disabled path must stay (nearly) free.
+
+The observability layer promises zero overhead when off: every hot-path
+emitter is a single ``tracer is not None`` guard.  This benchmark pins
+that promise with three interleaved measurements of the same spec:
+
+* **untraced** — ``trace=None``; the hooks are literally absent.
+* **inert** — ``TraceConfig(categories=frozenset())``; a tracer object
+  is wired through every model but no category is enabled, so every
+  emitter early-returns.  This is the worst case of the *disabled*
+  path: all the guards are paid, nothing is recorded.
+* **full** — all categories recording into the default ring; reported
+  informationally (recording is expected to cost real time).
+
+The guard asserts the inert configuration is at most 3% slower than
+untraced (median of per-round paired CPU-time ratios, so machine-speed
+drift cannot fake a regression), and that all three runs produce
+bit-identical simulation results.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/tracing_overhead.py [--quick]
+        [--output F] [--no-check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.config import baseline_config
+from repro.experiments.runner import run_simulation
+from repro.obs.trace import TraceConfig
+
+#: Maximum tolerated slowdown of the wired-but-disabled tracer relative
+#: to the untraced fast path (1.03 == 3%).
+MAX_DISABLED_OVERHEAD = 1.03
+
+MODES = {
+    "untraced": None,
+    "inert": TraceConfig(categories=frozenset()),
+    "full": TraceConfig(),
+}
+
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def measure(workload, scale, num_wavefronts, rounds):
+    """Median paired slowdown of each traced mode vs untraced.
+
+    Shared CI machines drift (frequency scaling, cgroup throttling):
+    back-to-back runs of *identical* code can differ by 20%+, which
+    drowns a 3% guard measured as best-of-N absolute rates.  Instead
+    each round runs all three modes back-to-back — so they share the
+    machine's momentary speed — and produces one *paired* slowdown
+    ratio per traced mode; the guard checks the median ratio across
+    rounds.  Mode order rotates per round so no mode systematically
+    inherits the warmer slot.
+    """
+    config = baseline_config()
+    mode_items = list(MODES.items())
+    cpu_seconds = {mode: [] for mode in MODES}
+    rates = {mode: [] for mode in MODES}
+    results = {}
+    # Warm the interpreter (bytecode caches, allocator pools) before
+    # measuring, so the first round doesn't absorb the cold-start cost.
+    run_simulation(
+        workload, config=config, scheduler="simt",
+        num_wavefronts=num_wavefronts, scale=scale,
+    )
+    for round_index in range(rounds):
+        rotation = (
+            mode_items[round_index % len(mode_items):]
+            + mode_items[:round_index % len(mode_items)]
+        )
+        for mode, trace in rotation:
+            cpu_start = time.process_time()
+            result = run_simulation(
+                workload,
+                config=config,
+                scheduler="simt",
+                num_wavefronts=num_wavefronts,
+                scale=scale,
+                trace=trace,
+            )
+            elapsed = time.process_time() - cpu_start
+            cpu_seconds[mode].append(elapsed)
+            rates[mode].append(
+                result.detail["engine"]["events_processed"] / elapsed
+                if elapsed > 0 else float("inf")
+            )
+            results[mode] = result
+    identical = all(
+        getattr(results[mode], field) == getattr(results["untraced"], field)
+        for mode in MODES
+        for field in ("total_cycles", "stall_cycles", "walks_dispatched")
+    )
+    slowdown = {
+        mode: round(
+            _median(
+                [
+                    traced / untraced
+                    for traced, untraced in zip(
+                        cpu_seconds[mode], cpu_seconds["untraced"]
+                    )
+                ]
+            ),
+            4,
+        )
+        for mode in MODES
+        if mode != "untraced"
+    }
+    return {
+        "workload": workload,
+        "scheduler": "simt",
+        "scale": scale,
+        "num_wavefronts": num_wavefronts,
+        "rounds": rounds,
+        "events_per_cpu_sec": {
+            mode: round(max(samples)) for mode, samples in rates.items()
+        },
+        # Median paired slowdown vs untraced: >1.0 means slower.
+        "slowdown_vs_untraced": slowdown,
+        "identical_results": identical,
+        "trace_events_emitted": results["full"].detail["trace"][
+            "events_emitted"
+        ],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller run for CI smoke testing"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(
+            Path(__file__).resolve().parents[2] / "BENCH_tracing_overhead.json"
+        ),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true", help="record without asserting thresholds"
+    )
+    args = parser.parse_args(argv)
+
+    # Even the quick runs must last long enough that process_time's
+    # resolution and interpreter warmup cannot masquerade as overhead —
+    # a sub-100ms measurement can misreport the guard by 20%.
+    if args.quick:
+        spec = dict(workload="XSB", scale=0.3, num_wavefronts=16, rounds=5)
+    else:
+        spec = dict(workload="XSB", scale=0.5, num_wavefronts=32, rounds=7)
+
+    report = {
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "measurement": measure(**spec),
+        "params": {"quick": args.quick},
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+    if args.no_check:
+        return 0
+    failures = []
+    measurement = report["measurement"]
+    inert = measurement["slowdown_vs_untraced"]["inert"]
+    if inert > MAX_DISABLED_OVERHEAD:
+        failures.append(
+            f"disabled-tracer slowdown {inert} exceeds the "
+            f"{MAX_DISABLED_OVERHEAD} guard"
+        )
+    if not measurement["identical_results"]:
+        failures.append("traced and untraced runs produced different results")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,14 @@ from repro.experiments.runner import (
     run_simulation,
     scheduler_sweep_specs,
 )
+from repro.obs import (
+    MetricsRegistry,
+    PhaseProfiler,
+    TraceConfig,
+    Tracer,
+    build_tracer,
+    validate_chrome_trace,
+)
 from repro.resilience import (
     DeadlockDiagnosis,
     FaultEvent,
@@ -78,7 +86,9 @@ __all__ = [
     "GPUConfig",
     "IOMMUConfig",
     "IRREGULAR_WORKLOADS",
+    "MetricsRegistry",
     "PWCConfig",
+    "PhaseProfiler",
     "RandomScheduler",
     "REGULAR_WORKLOADS",
     "RunOutcome",
@@ -87,12 +97,15 @@ __all__ = [
     "SpecExecutionError",
     "SystemConfig",
     "TLBConfig",
+    "TraceConfig",
+    "Tracer",
     "Watchdog",
     "WatchdogError",
     "all_workloads",
     "available_schedulers",
     "baseline_config",
     "build_system",
+    "build_tracer",
     "compare_schedulers",
     "config_from_dict",
     "config_to_dict",
@@ -106,6 +119,7 @@ __all__ = [
     "run_many_resilient",
     "run_simulation",
     "scheduler_sweep_specs",
+    "validate_chrome_trace",
     "workload_names",
     "__version__",
 ]

@@ -12,9 +12,21 @@ Commands
     retried in an isolated worker process; failures are summarised and
     the exit code is nonzero if any job ultimately fails.
 
+``trace WORKLOAD``
+    Simulate one workload with full lifecycle tracing and write a
+    Chrome/Perfetto ``trace_event`` JSON file (open it at
+    https://ui.perfetto.dev).  Timestamps are simulation cycles, so the
+    trace is deterministic.
+
+``metrics WORKLOAD``
+    Simulate one workload with the live metrics registry sampling the
+    translation pipeline (pending-walk depth, walker occupancy, PWC hit
+    rates, DRAM queue depth) and print — or write — the JSON dump.
+
 ``faults``
     Run a seeded fault-injection campaign (deterministic: the same seed
-    prints byte-identical JSON).
+    prints byte-identical JSON).  ``--trace-dir`` additionally writes a
+    per-case Perfetto trace with fault injections annotated.
 
 ``figure NAME``
     Regenerate one of the paper's figures/tables (fig2, fig3, fig5,
@@ -99,6 +111,67 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.trace import TraceConfig, validate_chrome_trace
+
+    trace_kwargs = {}
+    if args.categories:
+        trace_kwargs["categories"] = frozenset(args.categories.split(","))
+    if args.ring_size is not None:
+        trace_kwargs["ring_size"] = args.ring_size
+    trace_config = TraceConfig(**trace_kwargs)
+    result = run_simulation(
+        args.workload.upper(),
+        config=_load_config(args),
+        scheduler=args.scheduler,
+        num_wavefronts=args.wavefronts,
+        scale=args.scale,
+        seed=args.seed,
+        trace=trace_config,
+        trace_path=args.out,
+        trace_jsonl_path=args.jsonl,
+    )
+    with open(args.out, "r", encoding="utf-8") as handle:
+        count = validate_chrome_trace(json.load(handle))
+    print(result.summary())
+    summary = result.detail["trace"]
+    print(
+        f"trace: {count} events written to {args.out} "
+        f"({summary['events_emitted']} emitted, "
+        f"{summary['events_dropped']} dropped from the ring)"
+    )
+    if args.jsonl:
+        print(f"jsonl: {args.jsonl}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    result = run_simulation(
+        args.workload.upper(),
+        config=_load_config(args),
+        scheduler=args.scheduler,
+        num_wavefronts=args.wavefronts,
+        scale=args.scale,
+        seed=args.seed,
+        metrics=True,
+        metrics_interval_events=args.interval,
+    )
+    dump = json.dumps(result.detail["metrics"], indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(dump + "\n")
+        print(result.summary())
+        print(f"wrote {args.out}")
+    else:
+        print(dump)
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.resilience.campaign import render_campaign, run_campaign
 
@@ -108,6 +181,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         timeout=args.timeout,
         retries=args.retries,
+        trace_dir=args.trace_dir,
     )
     rendered = render_campaign(report)
     if args.output:
@@ -302,7 +376,62 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--output", default=None, help="write the JSON report here instead of stdout"
     )
+    faults.add_argument(
+        "--trace-dir",
+        default=None,
+        help="also write one Perfetto trace per case into this directory",
+    )
     faults.set_defaults(func=_cmd_faults)
+
+    trace = sub.add_parser(
+        "trace", help="simulate with lifecycle tracing; write a Perfetto trace"
+    )
+    trace.add_argument("workload")
+    trace.add_argument(
+        "--scheduler",
+        default=None,
+        choices=available_schedulers(),
+        help="walk scheduler (default: the config's policy, fcfs)",
+    )
+    trace.add_argument(
+        "--out", default="trace.json",
+        help="Chrome/Perfetto trace_event JSON output path",
+    )
+    trace.add_argument(
+        "--jsonl", default=None, help="also write raw events as JSON lines"
+    )
+    trace.add_argument(
+        "--categories",
+        default=None,
+        help="comma-separated event categories to record "
+        "(default: all; see repro.obs.trace.TRACE_CATEGORIES)",
+    )
+    trace.add_argument(
+        "--ring-size", type=int, default=None,
+        help="trace ring-buffer capacity in events",
+    )
+    _add_run_args(trace)
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="simulate with the live metrics registry sampling"
+    )
+    metrics.add_argument("workload")
+    metrics.add_argument(
+        "--scheduler",
+        default=None,
+        choices=available_schedulers(),
+        help="walk scheduler (default: the config's policy, fcfs)",
+    )
+    metrics.add_argument(
+        "--interval", type=int, default=10_000,
+        help="sample the registry every this many fired events",
+    )
+    metrics.add_argument(
+        "--out", default=None, help="write the metrics JSON here instead of stdout"
+    )
+    _add_run_args(metrics)
+    metrics.set_defaults(func=_cmd_metrics)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure/table")
     figure.add_argument("name", help="e.g. fig8, fig13a, table2")

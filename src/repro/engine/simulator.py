@@ -9,7 +9,7 @@ enough to run millions of events in pure Python.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.engine.event_queue import EventQueue
 
@@ -21,9 +21,9 @@ class Simulator:
         self._queue = EventQueue()
         self._now = 0
         self._events_processed = 0
-        self._monitor: Optional[Callable[[], Any]] = None
-        self._monitor_interval = 0
-        self._monitor_countdown = 0
+        #: Installed monitors: mutable ``[callback, interval, countdown]``
+        #: slots, so the run loop decrements in place.
+        self._monitors: List[list] = []
 
     @property
     def now(self) -> int:
@@ -60,21 +60,38 @@ class Simulator:
     def set_monitor(
         self, callback: Optional[Callable[[], Any]], interval_events: int = 10_000
     ) -> None:
-        """Install (or clear, with ``None``) a periodic monitor hook.
+        """Install (or clear, with ``None``) the periodic monitor hook.
 
         ``callback`` runs every ``interval_events`` fired events during
         :meth:`run` — the attachment point for watchdogs and invariant
         checkers.  A monitor may raise to abort the run; the clock and
         event counts stay consistent.  With no monitor installed the
         event loop is the original tight loop.
+
+        This replaces *every* installed monitor; use :meth:`add_monitor`
+        to attach several (e.g. a watchdog plus a metrics sampler).
         """
         if callback is not None and interval_events <= 0:
             raise ValueError(
                 f"interval_events must be positive, got {interval_events}"
             )
-        self._monitor = callback
-        self._monitor_interval = interval_events if callback is not None else 0
-        self._monitor_countdown = self._monitor_interval
+        self._monitors.clear()
+        if callback is not None:
+            self.add_monitor(callback, interval_events)
+
+    def add_monitor(
+        self, callback: Callable[[], Any], interval_events: int = 10_000
+    ) -> None:
+        """Attach one more periodic monitor, each with its own cadence.
+
+        Monitors fire in installation order when their countdowns expire
+        on the same event.
+        """
+        if interval_events <= 0:
+            raise ValueError(
+                f"interval_events must be positive, got {interval_events}"
+            )
+        self._monitors.append([callback, interval_events, interval_events])
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Drain the event queue.
@@ -87,7 +104,7 @@ class Simulator:
         """
         queue = self._queue
         fired = 0
-        monitor = self._monitor
+        monitors = self._monitors
         try:
             while queue:
                 if until is not None and queue.peek_time() > until:
@@ -99,11 +116,12 @@ class Simulator:
                 self._now = time
                 callback()
                 fired += 1
-                if monitor is not None:
-                    self._monitor_countdown -= 1
-                    if self._monitor_countdown <= 0:
-                        self._monitor_countdown = self._monitor_interval
-                        monitor()
+                if monitors:
+                    for slot in monitors:
+                        slot[2] -= 1
+                        if slot[2] <= 0:
+                            slot[2] = slot[1]
+                            slot[0]()
         finally:
             self._events_processed += fired
         return self._now

@@ -29,6 +29,14 @@ from repro.memory.subsystem import MemorySubsystem
 from repro.mmu.geometry import geometry_by_name
 from repro.mmu.iommu import IOMMU
 from repro.mmu.page_table import FrameAllocator, PageTable
+from repro.obs.metrics import (
+    DEFAULT_SAMPLE_INTERVAL_EVENTS,
+    MetricsRegistry,
+    finalize_standard_metrics,
+    install_standard_metrics,
+)
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.trace import TraceConfig, Tracer, build_tracer
 from repro.resilience.faults import build_injector
 from repro.resilience.outcomes import (
     STATUS_FAILED,
@@ -77,11 +85,18 @@ class System:
     memory: MemorySubsystem
     iommu: IOMMU
     gpu: GPU
+    #: Lifecycle tracer when the system was built with a
+    #: :class:`~repro.obs.trace.TraceConfig`; None otherwise.
+    tracer: Optional[Tracer] = None
+    #: Wall-clock phase profiler when built with ``profile=True``.
+    profiler: Optional[PhaseProfiler] = None
 
 
 def build_system(
     config: Optional[SystemConfig] = None,
     scheduler: Optional[WalkScheduler] = None,
+    trace: Optional[TraceConfig] = None,
+    profile: bool = False,
 ) -> System:
     """Construct and wire every hardware model from a configuration.
 
@@ -95,13 +110,23 @@ def build_system(
     wired through the IOMMU, walkers and memory subsystem and its timed
     faults are armed on the simulator clock.  Without one, every hook
     stays None and the models run their original fast paths.
+
+    ``trace`` wires a :class:`~repro.obs.trace.Tracer` through every
+    model (same injector pattern: ``trace=None`` keeps every hook None
+    and the hot paths untouched).  ``profile=True`` attaches a
+    :class:`~repro.obs.profiler.PhaseProfiler` that apportions wall
+    time between the scheduler's select and the memory model.
     """
     config = config or baseline_config()
     geometry = geometry_by_name(config.page_size)
     simulator = Simulator()
     injector = build_injector(config.faults)
+    tracer = build_tracer(trace)
+    profiler = PhaseProfiler() if profile else None
     page_table = PageTable(FrameAllocator(), geometry=geometry)
-    memory = MemorySubsystem(simulator, config, injector=injector)
+    memory = MemorySubsystem(
+        simulator, config, injector=injector, tracer=tracer, profiler=profiler
+    )
     iommu = IOMMU(
         simulator,
         config.iommu,
@@ -110,8 +135,10 @@ def build_system(
         scheduler=scheduler,
         geometry=geometry,
         injector=injector,
+        tracer=tracer,
+        profiler=profiler,
     )
-    gpu = GPU(simulator, config, memory, iommu)
+    gpu = GPU(simulator, config, memory, iommu, tracer=tracer)
     gpu.page_table = page_table
     system = System(
         simulator=simulator,
@@ -120,8 +147,11 @@ def build_system(
         memory=memory,
         iommu=iommu,
         gpu=gpu,
+        tracer=tracer,
+        profiler=profiler,
     )
     if injector is not None:
+        injector.tracer = tracer
         injector.arm(system)
     return system
 
@@ -140,6 +170,10 @@ def _validate_run_args(
     scale: float,
     max_cycles: int,
     watchdog_cycles: Optional[int],
+    trace: Optional[TraceConfig] = None,
+    trace_path: Optional[str] = None,
+    trace_jsonl_path: Optional[str] = None,
+    metrics_interval_events: int = DEFAULT_SAMPLE_INTERVAL_EVENTS,
 ) -> None:
     """API-boundary validation: bad inputs fail here with a clear
     ``ValueError``, not cycles later inside a hardware model."""
@@ -158,6 +192,20 @@ def _validate_run_args(
         raise ValueError(
             f"watchdog_cycles must be positive, got {watchdog_cycles}"
         )
+    if trace is not None and not isinstance(trace, TraceConfig):
+        raise ValueError(
+            f"trace must be a TraceConfig or None, got {type(trace).__name__}"
+        )
+    if trace is None and (trace_path or trace_jsonl_path):
+        raise ValueError(
+            "trace_path/trace_jsonl_path need trace=TraceConfig(...) to "
+            "produce anything; pass a trace configuration"
+        )
+    if metrics_interval_events <= 0:
+        raise ValueError(
+            f"metrics_interval_events must be positive, "
+            f"got {metrics_interval_events}"
+        )
 
 
 def run_simulation(
@@ -170,6 +218,12 @@ def run_simulation(
     max_cycles: int = MAX_CYCLES,
     watchdog_cycles: Optional[int] = None,
     watchdog_interval_events: int = DEFAULT_CHECK_INTERVAL_EVENTS,
+    trace: Optional[TraceConfig] = None,
+    trace_path: Optional[str] = None,
+    trace_jsonl_path: Optional[str] = None,
+    metrics: bool = False,
+    metrics_interval_events: int = DEFAULT_SAMPLE_INTERVAL_EVENTS,
+    profile: bool = False,
 ) -> SimulationResult:
     """Simulate ``workload`` to completion and return its metrics.
 
@@ -185,8 +239,27 @@ def run_simulation(
     :class:`~repro.resilience.watchdog.WatchdogError` carrying a full
     :class:`~repro.resilience.watchdog.DeadlockDiagnosis` instead of
     spinning until ``max_cycles``.
+
+    Observability (all off by default, zero-overhead when off):
+
+    * ``trace`` — a :class:`~repro.obs.trace.TraceConfig`; records walk
+      and instruction lifecycle events into a ring buffer.  The trace
+      summary lands in ``result.detail["trace"]``; ``trace_path`` also
+      writes a Chrome/Perfetto ``trace_event`` JSON file and
+      ``trace_jsonl_path`` a JSON-lines dump.  Timestamps are simulation
+      cycles, so traces are deterministic.
+    * ``metrics=True`` — samples a live :class:`MetricsRegistry`
+      (pending-walk depth, walker occupancy, scheduler counters, DRAM
+      queue depth) every ``metrics_interval_events`` fired events;
+      dumped into ``result.detail["metrics"]``.
+    * ``profile=True`` — wall-clock phase profiler; its report lands in
+      ``result.detail["profile"]``.
     """
-    _validate_run_args(scheduler, num_wavefronts, scale, max_cycles, watchdog_cycles)
+    _validate_run_args(
+        scheduler, num_wavefronts, scale, max_cycles, watchdog_cycles,
+        trace=trace, trace_path=trace_path, trace_jsonl_path=trace_jsonl_path,
+        metrics_interval_events=metrics_interval_events,
+    )
     config = config or baseline_config()
     scheduler_instance: Optional[WalkScheduler] = None
     if isinstance(scheduler, WalkScheduler):
@@ -194,7 +267,9 @@ def run_simulation(
     elif scheduler is not None:
         config = config.with_scheduler(scheduler, seed=seed)
     bench = _resolve_workload(workload, scale=scale, seed=seed)
-    system = build_system(config, scheduler=scheduler_instance)
+    system = build_system(
+        config, scheduler=scheduler_instance, trace=trace, profile=profile
+    )
 
     watchdog: Optional[Watchdog] = None
     if watchdog_cycles is not None:
@@ -204,6 +279,13 @@ def run_simulation(
             check_interval_events=watchdog_interval_events,
         )
         watchdog.install()
+
+    registry: Optional[MetricsRegistry] = None
+    if metrics:
+        registry = MetricsRegistry()
+        system.simulator.add_monitor(
+            install_standard_metrics(system, registry), metrics_interval_events
+        )
 
     traces = bench.build_trace(
         num_wavefronts=num_wavefronts,
@@ -241,6 +323,23 @@ def run_simulation(
     }
     if system.iommu.injector is not None:
         result.detail["faults"] = system.iommu.injector.stats()
+    tracer = system.tracer
+    if tracer is not None:
+        trace_detail: Dict[str, Any] = tracer.summary()
+        if trace_path:
+            tracer.write_chrome(trace_path)
+            trace_detail["chrome_path"] = trace_path
+        if trace_jsonl_path:
+            tracer.write_jsonl(trace_jsonl_path)
+            trace_detail["jsonl_path"] = trace_jsonl_path
+        if trace is not None and trace.embed_events:
+            trace_detail["events"] = tracer.events()
+        result.detail["trace"] = trace_detail
+    if registry is not None:
+        finalize_standard_metrics(system, registry)
+        result.detail["metrics"] = registry.as_dict()
+    if system.profiler is not None:
+        result.detail["profile"] = system.profiler.report(wall_seconds)
     return result
 
 

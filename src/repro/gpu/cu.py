@@ -18,10 +18,18 @@ from repro.mmu.tlb import TLB
 class ComputeUnit:
     """One CU: a private L1 TLB and stall bookkeeping for its wavefronts."""
 
-    def __init__(self, cu_id: int, simulator: Simulator, config: SystemConfig) -> None:
+    def __init__(
+        self,
+        cu_id: int,
+        simulator: Simulator,
+        config: SystemConfig,
+        tracer=None,
+    ) -> None:
         self.cu_id = cu_id
         self._sim = simulator
         self.l1_tlb = TLB(config.gpu_l1_tlb, name=f"gpu_l1_tlb[{cu_id}]")
+        #: Optional :class:`~repro.obs.trace.Tracer` (stall-interval spans).
+        self.tracer = tracer
         self._resident = 0
         self._active = 0
         self._last_change = 0
@@ -40,6 +48,12 @@ class ComputeUnit:
         now = self._sim.now
         if self._resident > 0 and self._active == 0:
             self.stall_cycles += now - self._last_change
+            if (
+                self.tracer is not None
+                and self.tracer.cat_cu
+                and now > self._last_change
+            ):
+                self.tracer.cu_stall(self.cu_id, self._last_change, now)
         self._last_change = now
 
     def wavefront_arrived(self, active: bool = True) -> None:

@@ -34,6 +34,7 @@ class GPU:
         config: SystemConfig,
         memory: MemorySubsystem,
         iommu: IOMMU,
+        tracer=None,
     ) -> None:
         self.sim = simulator
         self.config = config
@@ -43,10 +44,18 @@ class GPU:
         #: Set by the system builder; used only in perfect-translation
         #: (oracle MMU) runs.
         self.page_table = None
+        #: Optional :class:`~repro.obs.trace.Tracer` (job spans, CU stalls).
+        self.tracer = tracer
         self.cus: List[ComputeUnit] = [
-            ComputeUnit(cu_id, simulator, config) for cu_id in range(config.gpu.num_cus)
+            ComputeUnit(cu_id, simulator, config, tracer=tracer)
+            for cu_id in range(config.gpu.num_cus)
         ]
         self.l2_tlb = TLB(config.gpu_l2_tlb, name="gpu_l2_tlb")
+        if tracer is not None:
+            now = lambda: simulator.now  # noqa: E731 - tiny clock closure
+            self.l2_tlb.attach_tracer(tracer, now)
+            for cu in self.cus:
+                cu.l1_tlb.attach_tracer(tracer, now)
 
         self.instruction_records: List[InstructionRecord] = []
         #: Dynamic instructions retired so far — the watchdog's

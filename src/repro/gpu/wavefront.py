@@ -220,6 +220,9 @@ class Wavefront:
             return
         record = inflight.record
         record.walk_requests += 1
+        tracer = gpu.tracer
+        if tracer is not None and tracer.cat_job:
+            tracer.job_walk_issue(record.instruction_id, gpu.sim.now)
         request = TranslationRequest(
             vpn=vpn,
             instruction_id=record.instruction_id,
@@ -247,6 +250,9 @@ class Wavefront:
         record = inflight.record
         record.walk_latencies.append(request.complete_time - request.issue_time)
         record.walk_accesses += request.walk_accesses
+        tracer = gpu.tracer
+        if tracer is not None and tracer.cat_job:
+            tracer.job_walk_complete(record.instruction_id, request.complete_time)
         gpu.sim.after(
             response_latency,
             lambda: self._install_and_access(request.vpn, pfn, lines, inflight),
@@ -288,7 +294,15 @@ class Wavefront:
 
     def _instruction_complete(self, inflight: _InflightInstruction) -> None:
         gpu = self._gpu
-        inflight.record.complete_time = gpu.sim.now
+        record = inflight.record
+        record.complete_time = gpu.sim.now
+        tracer = gpu.tracer
+        if tracer is not None and tracer.cat_job:
+            tracer.job_retired(
+                gpu.sim.now, self.cu_id, record.instruction_id,
+                record.wavefront_id, record.issue_time,
+                record.walk_accesses, record.walk_requests, record.num_pages,
+            )
         gpu.note_instruction_retired()
         self._outstanding -= 1
         if self._pc >= len(self._trace):

@@ -24,16 +24,24 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import LINE_SIZE, DRAMConfig
 from repro.engine.simulator import Simulator
+from repro.obs.trace import PID_MEMORY
 
 
 class _Request:
-    __slots__ = ("address", "bank", "row", "arrival_seq", "on_complete")
+    __slots__ = (
+        "address", "bank", "row", "arrival_seq", "arrival_time",
+        "row_hit", "on_complete",
+    )
 
-    def __init__(self, address, bank, row, arrival_seq, on_complete) -> None:
+    def __init__(
+        self, address, bank, row, arrival_seq, arrival_time, on_complete
+    ) -> None:
         self.address = address
         self.bank = bank
         self.row = row
         self.arrival_seq = arrival_seq
+        self.arrival_time = arrival_time
+        self.row_hit = False
         self.on_complete = on_complete
 
 
@@ -68,6 +76,9 @@ class QueuedMemoryController:
         #: it to spike access latency inside chosen cycle windows.
         self._latency_padding = latency_padding
         self.padded_accesses = 0
+        #: Optional :class:`~repro.obs.trace.Tracer` (read spans + queue
+        #: depth counter track).
+        self.tracer = None
         self._banks: List[_Bank] = [_Bank() for _ in range(config.total_banks)]
         self._queues: Dict[int, List[_Request]] = {}
         self._arrival_seq = 0
@@ -93,10 +104,18 @@ class QueuedMemoryController:
     def read(self, address: int, on_complete: Callable[[], None]) -> None:
         """Enqueue one read; ``on_complete`` fires when data returns."""
         bank, row = self._map(address)
-        request = _Request(address, bank, row, self._arrival_seq, on_complete)
+        request = _Request(
+            address, bank, row, self._arrival_seq, self._sim.now, on_complete
+        )
         self._arrival_seq += 1
         self._queues.setdefault(bank, []).append(request)
         self.peak_queue_depth = max(self.peak_queue_depth, self.queued_requests)
+        tracer = self.tracer
+        if tracer is not None and tracer.cat_counter:
+            tracer.counter(
+                self._sim.now, "dram_queue_depth", self.queued_requests,
+                pid=PID_MEMORY,
+            )
         self._try_issue(bank)
 
     def _select(self, queue: List[_Request], bank: _Bank) -> _Request:
@@ -117,6 +136,7 @@ class QueuedMemoryController:
         if request.row == bank.open_row:
             latency = cfg.t_cas
             self.row_hits += 1
+            request.row_hit = True
         else:
             latency = cfg.t_rp + cfg.t_rcd + cfg.t_cas
             self.row_conflicts += 1
@@ -131,6 +151,12 @@ class QueuedMemoryController:
         self._sim.after(latency, lambda: self._complete(bank_index, request))
 
     def _complete(self, bank_index: int, request: _Request) -> None:
+        tracer = self.tracer
+        if tracer is not None and tracer.cat_memory:
+            tracer.dram_read_span(
+                request.arrival_time, self._sim.now, request.bank,
+                request.address, request.row_hit,
+            )
         request.on_complete()
         # The bank stays occupied for the data burst before accepting
         # its next request.

@@ -40,6 +40,8 @@ class DRAM:
         self.row_conflicts = 0
         self.total_latency = 0
         self.total_queue_delay = 0
+        #: Optional :class:`~repro.obs.trace.Tracer` (access spans).
+        self.tracer = None
 
     def _map(self, address: int) -> tuple:
         """Map a physical address to (bank index, row).
@@ -70,7 +72,8 @@ class DRAM:
         cfg = self.config
 
         start = max(now, bank.busy_until)
-        if bank.open_row == row:
+        row_hit = bank.open_row == row
+        if row_hit:
             latency = cfg.t_cas
             self.row_hits += 1
         else:
@@ -83,6 +86,9 @@ class DRAM:
         self.accesses += 1
         self.total_latency += done - now
         self.total_queue_delay += start - now
+        tracer = self.tracer
+        if tracer is not None and tracer.cat_memory:
+            tracer.dram_access(start, done, address, start - now, row_hit)
         return done
 
     @property

@@ -7,6 +7,7 @@ invoked with *physical* addresses, downstream of the MMU.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 from repro.config import LINE_SIZE, SystemConfig
@@ -31,12 +32,21 @@ class MemorySubsystem:
     """
 
     def __init__(
-        self, simulator: Simulator, config: SystemConfig, injector=None
+        self,
+        simulator: Simulator,
+        config: SystemConfig,
+        injector=None,
+        tracer=None,
+        profiler=None,
     ) -> None:
         self._sim = simulator
         self._config = config
         #: Optional fault injector; supplies DRAM latency spikes.
         self._injector = injector
+        #: Optional :class:`~repro.obs.profiler.PhaseProfiler`; credits
+        #: time spent in the two entry points to the ``memory_model``
+        #: phase when attached.
+        self._profiler = profiler
         padding = injector.dram_padding if injector is not None else None
         self.l1_caches: List[SetAssociativeCache] = [
             SetAssociativeCache(config.l1_cache, name=f"l1d[{cu}]")
@@ -46,6 +56,7 @@ class MemorySubsystem:
         if config.dram.controller == "reservation":
             self.dram: Optional[DRAM] = DRAM(config.dram)
             self.controller: Optional[QueuedMemoryController] = None
+            self.dram.tracer = tracer
         else:
             self.dram = None
             self.controller = QueuedMemoryController(
@@ -54,6 +65,7 @@ class MemorySubsystem:
                 policy=config.dram.controller,
                 latency_padding=padding,
             )
+            self.controller.tracer = tracer
         self.data_accesses = 0
         self.page_table_reads = 0
 
@@ -61,6 +73,18 @@ class MemorySubsystem:
         self, cu_id: int, physical_address: int, on_complete: Callable[[], None]
     ) -> None:
         """Issue one coalesced data access; fires ``on_complete`` when done."""
+        if self._profiler is not None:
+            start = perf_counter()
+            try:
+                self._data_access(cu_id, physical_address, on_complete)
+            finally:
+                self._profiler.add("memory_model", perf_counter() - start)
+            return
+        self._data_access(cu_id, physical_address, on_complete)
+
+    def _data_access(
+        self, cu_id: int, physical_address: int, on_complete: Callable[[], None]
+    ) -> None:
         self.data_accesses += 1
         line = physical_address // LINE_SIZE
         l1 = self.l1_caches[cu_id]
@@ -95,6 +119,18 @@ class MemorySubsystem:
         Walkers chain these: the next level's read is issued only from
         the previous one's completion callback.
         """
+        if self._profiler is not None:
+            start = perf_counter()
+            try:
+                self._page_table_read(physical_address, on_complete)
+            finally:
+                self._profiler.add("memory_model", perf_counter() - start)
+            return
+        self._page_table_read(physical_address, on_complete)
+
+    def _page_table_read(
+        self, physical_address: int, on_complete: Callable[[], None]
+    ) -> None:
         self.page_table_reads += 1
         if self.dram is not None:
             done = self.dram.access(physical_address, self._sim.now)

@@ -25,6 +25,7 @@ scheduler's lookahead is exactly the buffer capacity (Fig 14 sweeps it).
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.config import IOMMUConfig
@@ -55,6 +56,8 @@ class IOMMU:
         scheduler: Optional[WalkScheduler] = None,
         geometry: PageGeometry = BASE_4K,
         injector=None,
+        tracer=None,
+        profiler=None,
     ) -> None:
         self._sim = simulator
         self.config = config
@@ -63,9 +66,20 @@ class IOMMU:
         #: Optional :class:`~repro.resilience.faults.FaultInjector`; the
         #: watchdog reads its stats into deadlock diagnoses.
         self.injector = injector
+        #: Optional :class:`~repro.obs.trace.Tracer`; None keeps every
+        #: emitter off the hot path.
+        self.tracer = tracer
+        #: Optional :class:`~repro.obs.profiler.PhaseProfiler`; times
+        #: scheduler-select calls when attached.
+        self.profiler = profiler
         self.l1_tlb = TLB(config.l1_tlb, name="iommu_l1_tlb")
         self.l2_tlb = TLB(config.l2_tlb, name="iommu_l2_tlb")
         self.pwc = PageWalkCache(config.pwc, geometry=geometry)
+        if tracer is not None:
+            now = lambda: simulator.now  # noqa: E731 - tiny clock closure
+            self.l1_tlb.attach_tracer(tracer, now)
+            self.l2_tlb.attach_tracer(tracer, now)
+            self.pwc.attach_tracer(tracer, now)
         self.scheduler = scheduler or make_scheduler(
             config.scheduler,
             seed=config.scheduler_seed,
@@ -79,7 +93,7 @@ class IOMMU:
         self.walkers: List[PageTableWalker] = [
             PageTableWalker(
                 i, simulator, page_table, self.pwc, page_table_read,
-                injector=injector,
+                injector=injector, tracer=tracer,
             )
             for i in range(config.num_walkers)
         ]
@@ -130,6 +144,11 @@ class IOMMU:
         self._handle_tlb_miss(request)
 
     def _handle_tlb_miss(self, request: TranslationRequest) -> None:
+        if self.tracer is not None:
+            self.tracer.walk_created(
+                self._sim.now, request.vpn, request.instruction_id,
+                request.wavefront_id,
+            )
         if self._try_coalesce(request):
             return
         # A new walk is needed.  An idle walker takes it immediately
@@ -183,6 +202,15 @@ class IOMMU:
             request, arrival_time=self._sim.now, estimated_accesses=estimate
         )
         self.scheduler.on_arrival(entry, self.buffer)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.walk_enqueued(
+                self._sim.now, request.vpn, request.instruction_id, estimate
+            )
+            if tracer.cat_counter:
+                tracer.counter(
+                    self._sim.now, "pending_walks", len(self.buffer)
+                )
 
     # ------------------------------------------------------------------
     # Walker management
@@ -210,6 +238,16 @@ class IOMMU:
                 # the instruction for batching continuity.
                 self.scheduler.note_dispatch(entry)
         self._walking.setdefault(entry.vpn, []).append(entry)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.walk_scheduled(
+                self._sim.now, entry.vpn, entry.instruction_id,
+                entry.arrival_time, walker.walker_id, entry.dispatch_seq,
+            )
+            if tracer.cat_counter:
+                tracer.counter(
+                    self._sim.now, "pending_walks", len(self.buffer)
+                )
         walker.start(entry, self._walk_complete)
 
     def _walk_complete(
@@ -224,6 +262,10 @@ class IOMMU:
         if not entry.is_prefetch and entry.dispatch_time is not None:
             self.total_queue_wait += entry.dispatch_time - entry.arrival_time
             self.total_service_time += self._sim.now - entry.dispatch_time
+        if self.tracer is not None:
+            self.tracer.walk_completed(
+                self._sim.now, entry.vpn, entry.instruction_id, accesses
+            )
         self.l2_tlb.insert(entry.vpn, pfn)
         if entry.is_prefetch:
             # Prefetched translations stay in the (larger) L2 TLB until
@@ -272,12 +314,25 @@ class IOMMU:
                 self._scan_in_progress = True
                 self._sim.after(scan_latency, self._finish_scan)
                 return
-            entry = self.scheduler.select(self.buffer)
+            entry = (
+                self.scheduler.select(self.buffer)
+                if self.profiler is None
+                else self._timed_select()
+            )
             if entry is None:
                 return
             self.buffer.remove(entry)
             self._dispatch(walker, entry)
             self._drain_overflow()
+
+    def _timed_select(self):
+        """One scheduler selection with its wall time credited to the
+        ``scheduler_select`` profiling phase."""
+        start = perf_counter()
+        try:
+            return self.scheduler.select(self.buffer)
+        finally:
+            self.profiler.add("scheduler_select", perf_counter() - start)
 
     def _finish_scan(self) -> None:
         """Complete one delayed scheduler scan and dispatch its pick."""
@@ -285,7 +340,11 @@ class IOMMU:
         walker = self._idle_walker()
         if walker is None or self.buffer.is_empty:
             return
-        entry = self.scheduler.select(self.buffer)
+        entry = (
+            self.scheduler.select(self.buffer)
+            if self.profiler is None
+            else self._timed_select()
+        )
         if entry is None:
             return
         self.buffer.remove(entry)

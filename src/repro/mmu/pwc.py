@@ -113,6 +113,15 @@ class PageWalkCache:
         self._levels: Dict[int, _LevelCache] = {
             level: _LevelCache(config) for level in self._cached_levels
         }
+        #: Optional :class:`~repro.obs.trace.Tracer` plus a clock
+        #: closure (the PWC holds no simulator reference).
+        self.tracer = None
+        self._trace_now = None
+
+    def attach_tracer(self, tracer, now) -> None:
+        """Record probes into ``tracer``; ``now`` supplies timestamps."""
+        self.tracer = tracer
+        self._trace_now = now
 
     def _deepest_hit(self, vpn: int, count_stats: bool) -> int:
         """Deepest cached level for ``vpn``; 0 when nothing is cached.
@@ -151,7 +160,11 @@ class PageWalkCache:
                 self._levels[pinned].bump_counter(
                     self.geometry.vpn_prefix(vpn, pinned), +1
                 )
-        return self.accesses_for_hit_level(level)
+        accesses = self.accesses_for_hit_level(level)
+        tracer = self.tracer
+        if tracer is not None and tracer.cat_pwc:
+            tracer.pwc_probe(self._trace_now(), "score", vpn, level, accesses)
+        return accesses
 
     def peek_accesses(self, vpn: int) -> int:
         """Estimate accesses without touching counters or stats."""
@@ -169,7 +182,11 @@ class PageWalkCache:
                 tag = self.geometry.vpn_prefix(vpn, pinned)
                 self._levels[pinned].bump_counter(tag, -1)
                 self._levels[pinned].touch(tag)
-        return self.accesses_for_hit_level(level)
+        accesses = self.accesses_for_hit_level(level)
+        tracer = self.tracer
+        if tracer is not None and tracer.cat_pwc:
+            tracer.pwc_probe(self._trace_now(), "walk", vpn, level, accesses)
+        return accesses
 
     def fill(self, vpn: int) -> None:
         """Install the upper-level entries discovered by a completed walk."""

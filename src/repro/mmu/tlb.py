@@ -32,6 +32,16 @@ class TLB:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Optional :class:`~repro.obs.trace.Tracer` plus a clock
+        #: closure, set via :meth:`attach_tracer` (the TLB itself holds
+        #: no simulator reference).
+        self.tracer = None
+        self._trace_now = None
+
+    def attach_tracer(self, tracer, now) -> None:
+        """Record lookups into ``tracer``; ``now`` supplies timestamps."""
+        self.tracer = tracer
+        self._trace_now = now
 
     def _set_for(self, vpn: int) -> "OrderedDict[int, int]":
         return self._sets[vpn % self._num_sets]
@@ -40,11 +50,16 @@ class TLB:
         """Return the cached PFN for ``vpn`` (updating LRU) or None."""
         entries = self._set_for(vpn)
         pfn = entries.get(vpn)
+        tracer = self.tracer
         if pfn is None:
             self.misses += 1
+            if tracer is not None and tracer.cat_tlb:
+                tracer.tlb_lookup(self._trace_now(), self.name, vpn, False)
             return None
         entries.move_to_end(vpn)
         self.hits += 1
+        if tracer is not None and tracer.cat_tlb:
+            tracer.tlb_lookup(self._trace_now(), self.name, vpn, True)
         return pfn
 
     def probe(self, vpn: int) -> bool:

@@ -39,6 +39,7 @@ class PageTableWalker:
         pwc: PageWalkCache,
         page_table_read: Callable[[int, Callable[[], None]], None],
         injector=None,
+        tracer=None,
     ) -> None:
         self.walker_id = walker_id
         self._sim = simulator
@@ -47,6 +48,8 @@ class PageTableWalker:
         self._page_table_read = page_table_read
         #: Optional :class:`~repro.resilience.faults.FaultInjector`.
         self._injector = injector
+        #: Optional :class:`~repro.obs.trace.Tracer`.
+        self._tracer = tracer
         self._current: Optional[WalkBufferEntry] = None
         self.walks_completed = 0
         self.memory_accesses = 0
@@ -93,6 +96,9 @@ class PageTableWalker:
             return
         address = remaining[0]
         self.memory_accesses += 1
+        tracer = self._tracer
+        if tracer is not None and tracer.cat_memory:
+            tracer.ptw_read(self._sim.now, self.walker_id, address)
         self._page_table_read(
             address,
             lambda: self._issue_next(entry, remaining[1:], total_accesses, on_complete),
@@ -131,4 +137,9 @@ class PageTableWalker:
         self.walks_completed += 1
         self.busy_cycles += self._sim.now - self._walk_start
         self._current = None
+        if self._tracer is not None:
+            self._tracer.walk_span(
+                self._walk_start, self._sim.now, self.walker_id,
+                entry.vpn, entry.instruction_id, accesses,
+            )
         on_complete(self, entry, pfn, accesses)

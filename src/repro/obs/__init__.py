@@ -1,0 +1,47 @@
+"""repro.obs — observability for the translation pipeline.
+
+Three cooperating layers, all zero-overhead when disabled:
+
+* :mod:`repro.obs.trace` — ring-buffered lifecycle tracing with
+  Chrome/Perfetto and JSONL export;
+* :mod:`repro.obs.metrics` — a live registry of counters/gauges/
+  histograms sampled on the simulator monitor hook;
+* :mod:`repro.obs.profiler` — wall-clock phase profiling of the
+  simulator's own hot paths.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and how-tos.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_SAMPLE_INTERVAL_EVENTS,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    finalize_standard_metrics,
+    install_standard_metrics,
+)
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.trace import (
+    DEFAULT_RING_SIZE,
+    TRACE_CATEGORIES,
+    TraceConfig,
+    Tracer,
+    build_tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_RING_SIZE",
+    "DEFAULT_SAMPLE_INTERVAL_EVENTS",
+    "Gauge",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "TRACE_CATEGORIES",
+    "TraceConfig",
+    "Tracer",
+    "build_tracer",
+    "finalize_standard_metrics",
+    "install_standard_metrics",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,241 @@
+"""A live metrics registry sampled on the simulator's monitor hook.
+
+End-of-run aggregates (``IOMMU.stats()`` and friends) answer *what
+happened*; the registry answers *when*: pending-buffer depth over time,
+walker occupancy, PWC hit rate by level, DRAM queue depth, per-scheduler
+bypass/aging counts — each sampled every N fired events alongside the
+watchdog.  The whole registry serialises into
+``SimulationResult.detail["metrics"]``, so a sweep's queue dynamics are
+archived next to its cycle counts.
+
+Instruments are deliberately tiny (no labels, no exposition format):
+
+``Counter``
+    Monotonic count; ``inc()``.
+
+``Gauge``
+    Point-in-time value; ``set()``.
+
+``Histogram``
+    Bucketed distribution over :class:`~repro.stats.counters.BucketHistogram`
+    (bisect-indexed; mergeable across sweep workers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.stats.counters import BucketHistogram
+
+#: Default sampling cadence, in fired simulator events.
+DEFAULT_SAMPLE_INTERVAL_EVENTS = 10_000
+
+#: Buckets for the sampled pending-buffer depth distribution.
+_DEPTH_BUCKETS: Tuple[Tuple[int, int], ...] = (
+    (0, 0), (1, 4), (5, 16), (17, 64), (65, 256), (257, 4096),
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value, with min/max watermarks."""
+
+    __slots__ = ("name", "value", "min_value", "max_value", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Union[int, float] = 0
+        self.min_value: Optional[Union[int, float]] = None
+        self.max_value: Optional[Union[int, float]] = None
+        self.samples = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+        self.samples += 1
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms plus a sampled time series.
+
+    :meth:`sample` appends one row of every gauge's current value keyed
+    by simulation cycle — the time-series backbone ("pending depth over
+    time").  ``max_series_samples`` bounds memory on long runs by
+    decimating: when full, every other row is dropped and the sampling
+    stride doubles (the series stays evenly spaced).
+    """
+
+    def __init__(self, max_series_samples: int = 4_096) -> None:
+        if max_series_samples <= 1:
+            raise ValueError(
+                f"max_series_samples must be > 1, got {max_series_samples}"
+            )
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, BucketHistogram] = {}
+        self._max_series = max_series_samples
+        self._series_stride = 1
+        self._series_skip = 0
+        #: One row per kept sample: (cycle, {gauge name: value}).
+        self.series: List[Tuple[int, Dict[str, Union[int, float]]]] = []
+        self.samples_taken = 0
+
+    # -- instrument accessors (create on first use) --------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Sequence[Tuple[int, int]] = _DEPTH_BUCKETS
+    ) -> BucketHistogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = BucketHistogram(buckets)
+        return instrument
+
+    # -- sampling -------------------------------------------------------
+
+    def sample(self, cycle: int) -> None:
+        """Record one time-series row of every gauge's current value."""
+        self.samples_taken += 1
+        self._series_skip += 1
+        if self._series_skip < self._series_stride:
+            return
+        self._series_skip = 0
+        row = {name: gauge.value for name, gauge in self._gauges.items()}
+        self.series.append((cycle, row))
+        if len(self.series) >= self._max_series:
+            self.series = self.series[::2]
+            self._series_stride *= 2
+
+    # -- export ---------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """The whole registry as JSON-serialisable primitives."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {
+                    "value": gauge.value,
+                    "min": gauge.min_value,
+                    "max": gauge.max_value,
+                }
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "labels": histogram.labels(),
+                    "counts": histogram.counts(),
+                    "total": histogram.total,
+                    "out_of_range": histogram.out_of_range,
+                }
+                for name, histogram in sorted(self._histograms.items())
+            },
+            "series": [
+                {"cycle": cycle, **row} for cycle, row in self.series
+            ],
+            "samples_taken": self.samples_taken,
+        }
+
+
+def install_standard_metrics(system, registry: MetricsRegistry) -> Callable[[], None]:
+    """Wire the standard pipeline gauges; returns the sampler callback.
+
+    The callback is meant for :meth:`Simulator.add_monitor`: each firing
+    refreshes every gauge from live model state, feeds the depth
+    histograms, and appends one time-series row.  It reads state only —
+    attaching it never changes simulation behaviour.
+    """
+    iommu = system.iommu
+    gpu = system.gpu
+    memory = system.memory
+    simulator = system.simulator
+
+    pending = registry.gauge("iommu.pending_walks")
+    overflow = registry.gauge("iommu.overflow_queued")
+    busy_walkers = registry.gauge("iommu.busy_walkers")
+    depth_histogram = registry.histogram("iommu.pending_depth")
+    retired = registry.gauge("gpu.instructions_retired")
+    running = registry.gauge("gpu.running_wavefronts")
+    dram_queue = registry.gauge("dram.queued_requests")
+
+    scheduler = iommu.scheduler
+    walkers = iommu.walkers
+    controller = memory.controller
+
+    def sample() -> None:
+        now = simulator.now
+        depth = len(iommu.buffer)
+        pending.set(depth)
+        depth_histogram.add(depth)
+        overflow.set(iommu.overflow_queued)
+        busy_walkers.set(sum(1 for walker in walkers if walker.is_busy))
+        retired.set(gpu.instructions_retired)
+        running.set(gpu.running_wavefronts)
+        if controller is not None:
+            dram_queue.set(controller.queued_requests)
+        # Scheduler-policy observability: bypass/aging and SJF-vs-batch
+        # pick counts, for the policies that keep them.
+        aging = getattr(scheduler, "aging", None)
+        if aging is not None:
+            registry.gauge("scheduler.aging_promotions").set(aging.promotions)
+        batch_hits = getattr(scheduler, "batch_hits", None)
+        if batch_hits is not None:
+            registry.gauge("scheduler.batch_hits").set(batch_hits)
+            registry.gauge("scheduler.sjf_picks").set(scheduler.sjf_picks)
+        registry.sample(now)
+
+    return sample
+
+
+def finalize_standard_metrics(system, registry: MetricsRegistry) -> None:
+    """Fold end-of-run totals into the registry's counters.
+
+    Sampled gauges show dynamics; these counters pin the final tallies
+    (PWC hit rate by level, TLB hits, walk counts) so a metrics dump is
+    self-contained without cross-referencing ``detail["iommu"]``.
+    """
+    iommu = system.iommu
+    registry.counter("iommu.requests").inc(iommu.requests)
+    registry.counter("iommu.tlb_hits").inc(iommu.tlb_hits)
+    registry.counter("iommu.walks_dispatched").inc(iommu.walks_dispatched)
+    registry.counter("iommu.walks_completed").inc(iommu.walks_completed())
+    for level, stats in sorted(iommu.pwc.stats().items()):
+        registry.counter(f"pwc.{level}.hits").inc(stats["hits"])
+        registry.counter(f"pwc.{level}.misses").inc(stats["misses"])
+    for name, tlb in (("iommu_l1", iommu.l1_tlb), ("iommu_l2", iommu.l2_tlb),
+                      ("gpu_l2", system.gpu.l2_tlb)):
+        registry.counter(f"tlb.{name}.hits").inc(tlb.hits)
+        registry.counter(f"tlb.{name}.misses").inc(tlb.misses)
+    for walker in iommu.walkers:
+        registry.counter("walker.busy_cycles").inc(walker.busy_cycles)
+        registry.counter("walker.memory_accesses").inc(walker.memory_accesses)

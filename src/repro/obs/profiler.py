@@ -1,0 +1,61 @@
+"""Wall-clock phase profiling for the simulator's own hot paths.
+
+``BENCH_hotpath.json`` reports end-to-end events/sec; this profiler
+breaks a run's wall time into the phases an optimisation would target:
+
+``scheduler_select``
+    Time inside ``WalkScheduler.select`` calls (the paper's policies).
+
+``memory_model``
+    Time inside the memory subsystem's two entry points (cache lookups,
+    DRAM timing, controller queues).
+
+``event_loop_other``
+    Everything else — the event queue, wavefront state machines, TLBs —
+    derived as total minus the instrumented phases.
+
+The profiler uses :func:`time.perf_counter` and therefore must never
+feed the tracer or any simulation decision; it only ever lands in
+``SimulationResult.detail["profile"]``.  Like the tracer, it is ``None``
+when disabled, so the uninstrumented hot path is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds (and call counts) per named phase."""
+
+    __slots__ = ("seconds", "calls")
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Credit ``seconds`` of wall time to ``phase``."""
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
+        self.calls[phase] = self.calls.get(phase, 0) + 1
+
+    def report(self, total_wall_seconds: float) -> Dict[str, object]:
+        """The phase breakdown against an externally measured total."""
+        instrumented = sum(self.seconds.values())
+        phases = {
+            phase: {
+                "seconds": seconds,
+                "calls": self.calls[phase],
+                "fraction": (
+                    seconds / total_wall_seconds if total_wall_seconds > 0 else 0.0
+                ),
+            }
+            for phase, seconds in sorted(self.seconds.items())
+        }
+        other = max(0.0, total_wall_seconds - instrumented)
+        phases["event_loop_other"] = {
+            "seconds": other,
+            "calls": 0,
+            "fraction": other / total_wall_seconds if total_wall_seconds > 0 else 0.0,
+        }
+        return {"total_wall_seconds": total_wall_seconds, "phases": phases}

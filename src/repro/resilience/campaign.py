@@ -17,6 +17,7 @@ separately by the watchdog tests, where a hang is the expected outcome.
 from __future__ import annotations
 
 import json
+import os
 import random
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -29,6 +30,7 @@ from repro.config import (
     SystemConfig,
     TLBConfig,
 )
+from repro.obs.trace import TraceConfig
 from repro.resilience.faults import SAFE_KINDS, TLB_SITES, FaultEvent, FaultPlan
 
 #: Workloads drawn for campaign cases: a mix of the paper's irregular
@@ -108,12 +110,17 @@ def generate_plan(
     return FaultPlan(seed=seed, events=events)
 
 
-def campaign_cases(seed: int, runs: int) -> List[Dict[str, Any]]:
+def campaign_cases(
+    seed: int, runs: int, trace_dir: Optional[str] = None
+) -> List[Dict[str, Any]]:
     """The deterministic case matrix for one campaign.
 
     Each case is a :func:`~repro.experiments.runner.run_simulation` spec
     (config carries the fault plan) — picklable, so cases fan out over
-    the resilient executor unchanged.
+    the resilient executor unchanged.  With ``trace_dir`` every case
+    also records a full lifecycle trace — fault injections show up as
+    instant events on the timeline — written to
+    ``trace_dir/case_NN.json`` (Chrome/Perfetto format).
     """
     rng = random.Random(seed)
     cases: List[Dict[str, Any]] = []
@@ -122,16 +129,18 @@ def campaign_cases(seed: int, runs: int) -> List[Dict[str, Any]]:
         scheduler = rng.choice(CAMPAIGN_SCHEDULERS)
         plan = generate_plan(rng.randrange(2**31), num_walkers=4)
         config = campaign_config(scheduler).with_faults(plan)
-        cases.append(
-            {
-                "workload": workload,
-                "config": config,
-                "num_wavefronts": 8,
-                "scale": 0.05,
-                "seed": index,
-                "watchdog_cycles": CAMPAIGN_WATCHDOG_CYCLES,
-            }
-        )
+        case: Dict[str, Any] = {
+            "workload": workload,
+            "config": config,
+            "num_wavefronts": 8,
+            "scale": 0.05,
+            "seed": index,
+            "watchdog_cycles": CAMPAIGN_WATCHDOG_CYCLES,
+        }
+        if trace_dir is not None:
+            case["trace"] = TraceConfig()
+            case["trace_path"] = os.path.join(trace_dir, f"case_{index:02d}.json")
+        cases.append(case)
     return cases
 
 
@@ -147,6 +156,8 @@ def _case_record(case: Dict[str, Any], outcome) -> Dict[str, Any]:
         "status": outcome.status,
         "attempts": outcome.attempts,
     }
+    if "trace_path" in case:
+        record["trace_file"] = os.path.basename(case["trace_path"])
     if outcome.ok:
         result = outcome.result
         record.update(
@@ -167,11 +178,19 @@ def run_campaign(
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     retries: int = 0,
+    trace_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Run one seeded campaign; returns a deterministic JSON-able report."""
+    """Run one seeded campaign; returns a deterministic JSON-able report.
+
+    ``trace_dir`` additionally writes one Chrome/Perfetto trace per case
+    (deterministic: simulation-cycle timestamps only), with fault
+    injections annotated as instant events.
+    """
     from repro.experiments.runner import run_many_resilient
 
-    cases = campaign_cases(seed, runs)
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+    cases = campaign_cases(seed, runs, trace_dir=trace_dir)
     outcomes = run_many_resilient(
         cases, jobs=jobs, timeout=timeout, retries=retries
     )

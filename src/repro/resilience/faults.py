@@ -184,6 +184,11 @@ class FaultInjector:
             for e in plan.events
             if e.kind == "dram_spike"
         ]
+        #: Optional :class:`~repro.obs.trace.Tracer`; when attached,
+        #: every injection emits a ``fault:<kind>`` instant event at its
+        #: injection cycle so fault reports open next to the timeline
+        #: they perturbed.
+        self.tracer = None
         #: Count of injections actually performed, by fault kind.
         self.injected: Dict[str, int] = {}
         #: TLB entries invalidated by ``corrupt_tlb`` events.
@@ -211,6 +216,10 @@ class FaultInjector:
     def _count(self, kind: str) -> None:
         self.injected[kind] = self.injected.get(kind, 0) + 1
 
+    def _trace(self, kind: str, now: int, detail: Dict[str, object]) -> None:
+        if self.tracer is not None:
+            self.tracer.fault_injected(now, kind, detail)
+
     def _tlb_for(self, system, site: str):
         if site == "iommu_l1":
             return system.iommu.l1_tlb
@@ -221,15 +230,24 @@ class FaultInjector:
     def _flush_tlb(self, system, event: FaultEvent) -> None:
         self._tlb_for(system, event.site).flush()
         self._count("flush_tlb")
+        self._trace("flush_tlb", system.simulator.now, {"site": event.site})
 
     def _corrupt_tlb(self, system, event: FaultEvent) -> None:
         tlb = self._tlb_for(system, event.site)
-        self.entries_corrupted += tlb.corrupt(self._rng, event.count)
+        corrupted = tlb.corrupt(self._rng, event.count)
+        self.entries_corrupted += corrupted
         self._count("corrupt_tlb")
+        self._trace(
+            "corrupt_tlb", system.simulator.now,
+            {"site": event.site, "entries": corrupted},
+        )
 
     def _flush_pwc(self, system, event: FaultEvent) -> None:
-        system.iommu.pwc.flush()
+        discarded = system.iommu.pwc.flush()
         self._count("flush_pwc")
+        self._trace(
+            "flush_pwc", system.simulator.now, {"entries": discarded}
+        )
 
     def _stall_walker(self, system, event: FaultEvent) -> None:
         iommu = system.iommu
@@ -239,6 +257,10 @@ class FaultInjector:
         sim = system.simulator
         walker.stalled_until = max(walker.stalled_until, sim.now + event.duration)
         self._count("stall_walker")
+        self._trace(
+            "stall_walker", sim.now,
+            {"walker": event.target, "duration": event.duration},
+        )
         # When the stall lifts, buffered work may be waiting on this
         # walker — poke the scheduler so it does not idle forever.
         sim.at(walker.stalled_until, iommu.resume_walkers)
@@ -260,8 +282,18 @@ class FaultInjector:
             if fault.event.kind == "drop_walk_completion":
                 self.dropped_completions += 1
                 self._count("drop_walk_completion")
+                self._trace(
+                    "drop_walk_completion", now,
+                    {"walker": walker_id, "vpn": entry.vpn,
+                     "instruction_id": entry.instruction_id},
+                )
                 return "drop", 0
             self._count("delay_walk_completion")
+            self._trace(
+                "delay_walk_completion", now,
+                {"walker": walker_id, "vpn": entry.vpn,
+                 "extra_cycles": fault.event.magnitude},
+            )
             return "delay", fault.event.magnitude
         return "deliver", 0
 
@@ -273,6 +305,7 @@ class FaultInjector:
                 extra += magnitude
         if extra:
             self._count("dram_spike")
+            self._trace("dram_spike", now, {"extra_cycles": extra})
         return extra
 
     # ------------------------------------------------------------------

@@ -24,6 +24,10 @@ DEFAULT_CHECK_INTERVAL_EVENTS = 20_000
 #: How many pending-buffer entries a diagnosis lists verbatim.
 _DIAGNOSIS_BUFFER_SAMPLE = 8
 
+#: How many trailing trace events a diagnosis attaches when the traced
+#: system carries a tracer (the flight-recorder window).
+DIAGNOSIS_TRACE_TAIL = 64
+
 
 class WatchdogError(RuntimeError):
     """A watchdog trip: forward progress stopped or an invariant broke.
@@ -67,6 +71,9 @@ class DeadlockDiagnosis:
     #: Fault-injection stats when a plan was active (perturbed runs
     #: should say so in their crash reports).
     fault_stats: Optional[Dict[str, object]] = None
+    #: The last N trace events when the system was traced — a trip ships
+    #: its own flight recorder (empty without a tracer).
+    trace_tail: List[Dict[str, object]] = field(default_factory=list)
 
     def render(self) -> str:
         """The diagnosis as a readable multi-line report."""
@@ -117,6 +124,12 @@ class DeadlockDiagnosis:
             lines.append(f"    walker {w['walker_id']}: {state}{holding}")
         if self.fault_stats is not None:
             lines.append(f"  fault injection active: {self.fault_stats}")
+        if self.trace_tail:
+            first = self.trace_tail[0]
+            lines.append(
+                f"  flight recorder: last {len(self.trace_tail)} trace "
+                f"events attached (from cycle {first.get('ts', 0):,d})"
+            )
         return "\n".join(lines)
 
 
@@ -149,8 +162,13 @@ class Watchdog:
         self.checks = 0
 
     def install(self) -> None:
-        """Attach this watchdog to the system's simulator monitor hook."""
-        self._system.simulator.set_monitor(self.check, self.check_interval_events)
+        """Attach this watchdog to the system's simulator monitor hook.
+
+        Uses :meth:`~repro.engine.simulator.Simulator.add_monitor`, so the
+        watchdog coexists with other periodic observers (e.g. the metrics
+        sampler) instead of displacing them.
+        """
+        self._system.simulator.add_monitor(self.check, self.check_interval_events)
 
     # ------------------------------------------------------------------
     # Periodic check (runs inside the event loop)
@@ -242,6 +260,7 @@ class Watchdog:
             )
 
         injector = getattr(iommu, "injector", None)
+        tracer = getattr(system, "tracer", None)
         return DeadlockDiagnosis(
             reason=reason,
             cycle=now,
@@ -256,4 +275,7 @@ class Watchdog:
             outstanding_by_instruction=outstanding,
             oldest_pending=oldest,
             fault_stats=injector.stats() if injector is not None else None,
+            trace_tail=(
+                tracer.tail(DIAGNOSIS_TRACE_TAIL) if tracer is not None else []
+            ),
         )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, List, Sequence, Tuple
 
 
@@ -10,6 +11,11 @@ class BucketHistogram:
 
     Used for the paper's Fig 3 ("number of memory accesses for page
     walks per instruction", buckets 1-16, 17-32, ... 81-256).
+
+    When the buckets are sorted and non-overlapping (the usual case),
+    ``add`` locates the bucket by binary search over the lower bounds;
+    otherwise it falls back to a linear scan in declaration order, which
+    preserves first-match semantics for overlapping buckets.
     """
 
     def __init__(self, buckets: Sequence[Tuple[int, int]]) -> None:
@@ -22,15 +28,44 @@ class BucketHistogram:
         self._counts = [0] * len(buckets)
         self.total = 0
         self.out_of_range = 0
+        self._sorted = all(
+            self._buckets[i][1] < self._buckets[i + 1][0]
+            for i in range(len(self._buckets) - 1)
+        )
+        self._lows = [low for low, _ in self._buckets] if self._sorted else None
 
     def add(self, value: int) -> None:
         """Record one sample."""
         self.total += 1
+        if self._lows is not None:
+            index = bisect_right(self._lows, value) - 1
+            if index >= 0 and value <= self._buckets[index][1]:
+                self._counts[index] += 1
+                return
+            self.out_of_range += 1
+            return
         for index, (low, high) in enumerate(self._buckets):
             if low <= value <= high:
                 self._counts[index] += 1
                 return
         self.out_of_range += 1
+
+    def merge(self, other: "BucketHistogram") -> None:
+        """Fold ``other``'s samples into this histogram in place.
+
+        Both histograms must have been built over identical buckets —
+        merging differently-shaped histograms would silently misfile
+        counts, so it raises :class:`ValueError` instead.
+        """
+        if self._buckets != other._buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self._buckets} vs {other._buckets}"
+            )
+        for index, count in enumerate(other._counts):
+            self._counts[index] += count
+        self.total += other.total
+        self.out_of_range += other.out_of_range
 
     def counts(self) -> List[int]:
         return list(self._counts)

@@ -17,8 +17,13 @@ from typing import Dict, Iterable, List, Sequence, Union
 from repro.stats.metrics import SimulationResult
 
 
+#: Default report points: the tail matters in walk-latency studies, so
+#: p99.9 ships alongside the usual median/tail trio.
+DEFAULT_PERCENTILE_POINTS: Sequence[float] = (50, 90, 99, 99.9)
+
+
 def percentiles(
-    samples: Iterable[float], points: Sequence[float] = (50, 90, 99)
+    samples: Iterable[float], points: Sequence[float] = DEFAULT_PERCENTILE_POINTS
 ) -> Dict[float, float]:
     """Empirical percentiles by linear interpolation.
 
@@ -29,6 +34,16 @@ def percentiles(
     if not values:
         raise ValueError("percentiles of an empty sample set")
     out: Dict[float, float] = {}
+    if len(values) == 1:
+        # A single sample IS every percentile; skipping the interpolation
+        # avoids a low==high index aliasing that silently returned the
+        # sample via two different code paths.
+        only = values[0]
+        for point in points:
+            if not 0 <= point <= 100:
+                raise ValueError(f"percentile {point} outside 0..100")
+            out[point] = only
+        return out
     last = len(values) - 1
     for point in points:
         if not 0 <= point <= 100:
@@ -42,7 +57,7 @@ def percentiles(
 
 
 def walk_latency_percentiles(
-    records, points: Sequence[float] = (50, 90, 99)
+    records, points: Sequence[float] = DEFAULT_PERCENTILE_POINTS
 ) -> Dict[float, float]:
     """Percentiles of every IOMMU-serviced walk latency in a run."""
     samples: List[int] = []

@@ -67,6 +67,93 @@ def test_run_with_config_file(tmp_path, capsys):
     assert "simt" in capsys.readouterr().out
 
 
+def test_trace_command_writes_valid_trace(tmp_path, capsys):
+    import json
+
+    from repro.obs.trace import validate_chrome_trace
+
+    out = tmp_path / "trace.json"
+    jsonl = tmp_path / "trace.jsonl"
+    code = main(
+        [
+            "trace", "kmn", "--scheduler", "simt",
+            "--scale", "0.05", "--wavefronts", "4",
+            "--out", str(out), "--jsonl", str(jsonl),
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "perfetto" in captured
+    assert validate_chrome_trace(json.loads(out.read_text())) > 0
+    assert jsonl.read_text().count("\n") > 0
+
+
+def test_trace_command_category_filter(tmp_path):
+    import json
+
+    out = tmp_path / "walks.json"
+    code = main(
+        [
+            "trace", "kmn", "--scale", "0.05", "--wavefronts", "4",
+            "--out", str(out), "--categories", "walk,job",
+            "--ring-size", "1024",
+        ]
+    )
+    assert code == 0
+    categories = {
+        e["cat"]
+        for e in json.loads(out.read_text())["traceEvents"]
+        if e["ph"] != "M"
+    }
+    assert categories <= {"walk", "job"}
+
+
+def test_metrics_command(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "metrics.json"
+    code = main(
+        [
+            "metrics", "kmn", "--scale", "0.05", "--wavefronts", "4",
+            "--interval", "50", "--out", str(out),
+        ]
+    )
+    assert code == 0
+    data = json.loads(out.read_text())
+    assert data["samples_taken"] > 0
+    assert "iommu.walks_dispatched" in data["counters"]
+
+
+def test_metrics_command_stdout(capsys):
+    code = main(["metrics", "kmn", "--scale", "0.05", "--wavefronts", "4"])
+    assert code == 0
+    assert '"counters"' in capsys.readouterr().out
+
+
+def test_faults_trace_dir(tmp_path, capsys):
+    import json
+
+    from repro.obs.trace import validate_chrome_trace
+
+    trace_dir = tmp_path / "traces"
+    code = main(
+        ["faults", "--runs", "2", "--trace-dir", str(trace_dir)]
+    )
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert all(case["trace_file"] for case in report["cases"])
+    traces = sorted(trace_dir.glob("case_*.json"))
+    assert len(traces) == 2
+    for path in traces:
+        document = json.loads(path.read_text())
+        validate_chrome_trace(document)
+        # Fault injections are on the timeline as instant events.
+        assert any(
+            e["name"].startswith("fault:")
+            for e in document["traceEvents"]
+        )
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

@@ -56,3 +56,60 @@ def test_labels_and_dict():
     histogram.add(2)
     assert histogram.labels() == ["1-16", "17-32"]
     assert histogram.as_dict()["1-16"] == 1.0
+
+
+def test_bisect_agrees_with_linear_scan_on_every_edge():
+    """Exhaustive differential check of the bisect fast path."""
+    buckets = [(1, 16), (17, 32), (40, 40), (41, 64)]
+    fast = BucketHistogram(buckets)
+    assert fast._lows is not None  # sorted buckets take the bisect path
+    for value in range(-2, 70):
+        fast.add(value)
+    slow_counts = [0] * len(buckets)
+    out = 0
+    for value in range(-2, 70):
+        for index, (low, high) in enumerate(buckets):
+            if low <= value <= high:
+                slow_counts[index] += 1
+                break
+        else:
+            out += 1
+    assert fast.counts() == slow_counts
+    assert fast.out_of_range == out
+
+
+def test_gap_between_buckets_is_out_of_range():
+    histogram = BucketHistogram([(1, 10), (20, 30)])
+    histogram.add(15)
+    assert histogram.out_of_range == 1
+    assert histogram.counts() == [0, 0]
+
+
+def test_overlapping_buckets_fall_back_to_first_match():
+    histogram = BucketHistogram([(1, 20), (10, 30)])
+    assert histogram._lows is None  # overlap disables the bisect path
+    histogram.add(15)  # in both; first declared bucket wins
+    histogram.add(25)
+    assert histogram.counts() == [1, 1]
+
+
+def test_merge_sums_counts():
+    a = BucketHistogram(FIG3_BUCKETS)
+    b = BucketHistogram(FIG3_BUCKETS)
+    for value in (1, 20, 300):
+        a.add(value)
+    for value in (2, 20, -1):
+        b.add(value)
+    a.merge(b)
+    assert a.total == 6
+    assert a.out_of_range == 2  # 300 from a, -1 from b
+    assert a.counts()[0] == 2  # 1 and 2
+    assert a.counts()[1] == 2  # 20 twice
+    assert b.total == 3  # the source histogram is untouched
+
+
+def test_merge_rejects_different_buckets():
+    a = BucketHistogram([(1, 10)])
+    b = BucketHistogram([(1, 20)])
+    with pytest.raises(ValueError, match="different buckets"):
+        a.merge(b)

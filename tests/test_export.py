@@ -30,6 +30,20 @@ class TestPercentiles:
     def test_single_sample(self):
         assert percentiles([7.0], points=(50, 99))[99] == 7.0
 
+    def test_single_sample_is_every_percentile(self):
+        result = percentiles([7.0], points=(0, 50, 99, 99.9, 100))
+        assert result == {0: 7.0, 50: 7.0, 99: 7.0, 99.9: 7.0, 100: 7.0}
+
+    def test_single_sample_still_validates_points(self):
+        with pytest.raises(ValueError):
+            percentiles([7.0], points=(101,))
+
+    def test_default_points_include_p999(self):
+        values = list(range(10_001))
+        result = percentiles(values)
+        assert set(result) == {50, 90, 99, 99.9}
+        assert result[99.9] == pytest.approx(9990.0)
+
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             percentiles([])
@@ -55,6 +69,12 @@ class TestWalkLatencyPercentiles:
         assert walk_latency_percentiles([make_record([])], points=(50,)) == {
             50: 0.0
         }
+
+    def test_default_points_include_p999(self):
+        result = walk_latency_percentiles([make_record([100, 200])])
+        assert set(result) == {50, 90, 99, 99.9}
+        no_walks = walk_latency_percentiles([make_record([])])
+        assert no_walks == {50: 0.0, 90: 0.0, 99: 0.0, 99.9: 0.0}
 
 
 def make_result():

@@ -38,6 +38,7 @@ from repro.core.reference import (
 from repro.core.request import TranslationRequest
 from repro.core.schedulers import make_scheduler
 from repro.experiments.runner import build_system, collect_result
+from repro.obs.trace import TraceConfig
 from repro.workloads.registry import get_workload
 
 GOLDEN_PATH = Path(__file__).parent / "golden_equivalence.json"
@@ -47,7 +48,7 @@ SCALE = 0.2
 WAVEFRONTS = 16
 
 
-def _run_with_system(workload_name, scheduler, seed, config=None):
+def _run_with_system(workload_name, scheduler, seed, config=None, trace=None):
     """Mirror of ``run_simulation`` that also exposes the system.
 
     ``scheduler`` is a registry name or a WalkScheduler instance.
@@ -59,7 +60,7 @@ def _run_with_system(workload_name, scheduler, seed, config=None):
     else:
         instance = scheduler
     bench = get_workload(workload_name, scale=SCALE, seed=seed)
-    system = build_system(config, scheduler=instance)
+    system = build_system(config, scheduler=instance, trace=trace)
     traces = bench.build_trace(
         num_wavefronts=WAVEFRONTS, wavefront_size=config.gpu.wavefront_size
     )
@@ -78,6 +79,23 @@ def _run_with_system(workload_name, scheduler, seed, config=None):
 def test_matches_pre_optimisation_golden(key):
     workload, scheduler, seed = key.split("|")
     result, _ = _run_with_system(workload, scheduler, int(seed))
+    want = GOLDEN[key]
+    assert result.total_cycles == want["total_cycles"]
+    assert result.stall_cycles == want["stall_cycles"]
+    assert result.walks_dispatched == want["walks_dispatched"]
+
+
+@pytest.mark.parametrize(
+    "trace",
+    [TraceConfig(categories=frozenset()), TraceConfig()],
+    ids=["inert-tracer", "full-tracing"],
+)
+@pytest.mark.parametrize("key", sorted(GOLDEN)[:4])
+def test_tracing_preserves_golden_pins(key, trace):
+    """Observability must be read-only: traced runs (inert or fully
+    recording) reproduce the exact pre-observability golden numbers."""
+    workload, scheduler, seed = key.split("|")
+    result, _ = _run_with_system(workload, scheduler, int(seed), trace=trace)
     want = GOLDEN[key]
     assert result.total_cycles == want["total_cycles"]
     assert result.stall_cycles == want["stall_cycles"]

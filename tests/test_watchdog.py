@@ -98,6 +98,32 @@ def test_invariant_violation_detected():
         watchdog.final_check()
 
 
+def test_diagnosis_attaches_trace_tail_when_traced():
+    from repro.obs.trace import TraceConfig
+    from repro.resilience.watchdog import DIAGNOSIS_TRACE_TAIL
+
+    config = tiny_config().with_faults(_drop_plan())
+    with pytest.raises(WatchdogError) as excinfo:
+        run_simulation(
+            "MVT", config=config, num_wavefronts=8, scale=0.05, seed=1,
+            watchdog_cycles=100_000, trace=TraceConfig(),
+        )
+    tail = excinfo.value.diagnosis.trace_tail
+    assert tail, "traced trip should carry its flight-recorder window"
+    assert len(tail) <= DIAGNOSIS_TRACE_TAIL
+    assert all("ts" in event and "name" in event for event in tail)
+    # The drop fault itself is on the recorder (it wedged the system
+    # early, so it survives in the trailing window of a quiet hang).
+    assert "flight recorder" in excinfo.value.diagnosis.render()
+
+
+def test_diagnosis_trace_tail_empty_without_tracer():
+    with pytest.raises(WatchdogError) as excinfo:
+        _run_with_drops(watchdog_cycles=100_000)
+    assert excinfo.value.diagnosis.trace_tail == []
+    assert "flight recorder" not in excinfo.value.diagnosis.render()
+
+
 def test_healthy_run_passes_watchdog_untouched():
     result = run_simulation(
         "MVT", config=tiny_config(), num_wavefronts=8, scale=0.05, seed=1,

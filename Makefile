@@ -1,6 +1,7 @@
 # Developer conveniences for the repro package.
 
-.PHONY: install test bench perf figures quicktest faults trace overhead clean
+.PHONY: install test bench perf figures quicktest faults trace overhead \
+	fleet fleet-bench bench-check clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -25,6 +26,17 @@ trace:
 
 overhead:
 	python benchmarks/perf/tracing_overhead.py
+
+fleet:
+	python -m repro fleet-report --workloads MVT,XSB --schedulers fcfs,simt \
+		--seeds 2 --jobs 2 --progress --fleet-log fleet.jsonl \
+		--out fleet_report.json --markdown fleet_report.md
+
+fleet-bench:
+	python benchmarks/perf/fleet_overhead.py
+
+bench-check:
+	python -m repro bench-check
 
 figures:
 	python -m repro figure table1

@@ -36,6 +36,7 @@ from repro.core.reference import make_reference_scheduler
 from repro.core.request import TranslationRequest
 from repro.core.schedulers import make_scheduler
 from repro.experiments.runner import run_simulation
+from repro.stats.export import write_bench_report
 
 #: Instruction pool for the churn loop: large enough that per-instruction
 #: queues stay short, small enough that batching sometimes hits.
@@ -230,8 +231,8 @@ def main(argv=None):
         "phase_profile": phase_profile,
         "params": {"selects_per_point": selects, "quick": args.quick},
     }
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    print(json.dumps(report, indent=2))
+    document = write_bench_report("hotpath", report, args.output)
+    print(json.dumps(document, indent=2))
 
     if args.no_check:
         return 0

@@ -34,6 +34,7 @@ from pathlib import Path
 from repro.config import baseline_config
 from repro.experiments.runner import run_simulation
 from repro.obs.trace import TraceConfig
+from repro.stats.export import write_bench_report
 
 #: Maximum tolerated slowdown of the wired-but-disabled tracer relative
 #: to the untraced fast path (1.03 == 3%).
@@ -167,8 +168,8 @@ def main(argv=None):
         "measurement": measure(**spec),
         "params": {"quick": args.quick},
     }
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    print(json.dumps(report, indent=2))
+    document = write_bench_report("tracing_overhead", report, args.output)
+    print(json.dumps(document, indent=2))
 
     if args.no_check:
         return 0

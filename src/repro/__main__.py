@@ -26,7 +26,18 @@ Commands
 ``faults``
     Run a seeded fault-injection campaign (deterministic: the same seed
     prints byte-identical JSON).  ``--trace-dir`` additionally writes a
-    per-case Perfetto trace with fault injections annotated.
+    per-case Perfetto trace with fault injections annotated;
+    ``--fleet-log``/``--progress`` stream per-case fleet telemetry.
+
+``fleet-report``
+    Run a workload × scheduler × seed sweep under fleet telemetry and
+    write the deterministic aggregated report (per-group distributions,
+    geomean speedups vs the baseline scheduler) as JSON and markdown.
+
+``bench-check``
+    Compare the current ``BENCH_*.json`` numbers against the committed
+    baselines in ``benchmarks/baselines/`` and exit nonzero when a
+    watched metric regressed beyond its threshold.
 
 ``figure NAME``
     Regenerate one of the paper's figures/tables (fig2, fig3, fig5,
@@ -81,13 +92,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
     )
-    outcomes = run_many(
-        specs,
-        jobs=args.jobs,
-        timeout=args.timeout,
-        retries=args.retries,
-        return_outcomes=True,
-    )
+    with _make_telemetry(args) as telemetry:
+        outcomes = run_many(
+            specs,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            return_outcomes=True,
+            telemetry=telemetry,
+        )
     baseline = outcomes[0].result if outcomes[0].ok else None
     for name, outcome in zip(schedulers, outcomes):
         if outcome.ok:
@@ -95,8 +108,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             line = result.summary()
             if baseline is not None:
                 line += f"  speedup={result.speedup_over(baseline):.3f}"
-            print(line)
-        else:
+            if not args.quiet:
+                print(line)
+        elif not args.quiet:
             print(f"{name}: FAILED after {outcome.attempts} attempt(s) — "
                   f"{outcome.error_type}: {outcome.error}")
     failed = [
@@ -175,27 +189,117 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.resilience.campaign import render_campaign, run_campaign
 
-    report = run_campaign(
-        seed=args.seed,
-        runs=args.runs,
-        jobs=args.jobs,
-        timeout=args.timeout,
-        retries=args.retries,
-        trace_dir=args.trace_dir,
-    )
+    with _make_telemetry(args) as telemetry:
+        report = run_campaign(
+            seed=args.seed,
+            runs=args.runs,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            trace_dir=args.trace_dir,
+            telemetry=telemetry,
+        )
     rendered = render_campaign(report)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(rendered + "\n")
-        print(f"wrote {args.output}")
+        if not args.quiet:
+            print(f"wrote {args.output}")
     else:
         print(rendered)
+    # Retries and timeouts are audit events even on a "green" campaign:
+    # a silently re-run case must never look like a clean first pass.
+    if report["retried"] or report["timed_out"]:
+        print(
+            f"campaign needed {report['retried']} retry attempt(s); "
+            f"{report['timed_out']} case(s) timed out",
+            file=sys.stderr,
+        )
     if report["completed"] != report["runs"]:
         print(
             f"{report['runs'] - report['completed']}/{report['runs']} "
             "campaign cases failed",
             file=sys.stderr,
         )
+        return 1
+    return 0
+
+
+def _cmd_fleet_report(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_many_resilient
+    from repro.obs.aggregate import (
+        fleet_markdown,
+        fleet_report,
+        render_fleet_report,
+        sweep_specs,
+    )
+
+    workloads = [name.upper() for name in args.workloads.split(",")]
+    schedulers = args.schedulers.split(",")
+    specs = sweep_specs(
+        workloads,
+        schedulers,
+        seeds=range(args.seeds),
+        config=_load_config(args),
+        num_wavefronts=args.wavefronts,
+        scale=args.scale,
+        metrics=args.metrics,
+    )
+    with _make_telemetry(args) as telemetry:
+        outcomes = run_many_resilient(
+            specs,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            telemetry=telemetry,
+        )
+        summary = telemetry.summary() if telemetry is not None else None
+    report = fleet_report(
+        specs, outcomes,
+        baseline_scheduler=args.baseline,
+        telemetry_summary=summary,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(render_fleet_report(report) + "\n")
+    rendered = fleet_markdown(report)
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    if not args.quiet:
+        print(rendered)
+        print(f"wrote {args.out}")
+        if args.markdown:
+            print(f"wrote {args.markdown}")
+    failed = report["failed"] + report["timeout"]
+    if failed:
+        print(
+            f"{failed}/{report['specs']} fleet spec(s) failed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.regress import check_benches, render_check
+
+    report = check_benches(
+        baseline_dir=args.baseline_dir, current_dir=args.current_dir
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    rendered = render_check(report)
+    if not args.quiet:
+        print(rendered)
+    if not report["ok"]:
+        if args.quiet:
+            print(rendered, file=sys.stderr)
+        if args.warn_only:
+            print("bench-check: regressions found (warn-only)", file=sys.stderr)
+            return 0
         return 1
     return 0
 
@@ -294,6 +398,60 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_verbosity_args(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--progress`` / ``--quiet`` / ``--fleet-log`` trio.
+
+    ``--progress`` streams live per-spec fleet telemetry to stderr;
+    ``--quiet`` suppresses informational stdout.  They compose —
+    ``--progress --quiet`` is the "just show me the live ticker" mode —
+    and either way failures are summarised on stderr and the exit code
+    is nonzero.
+    """
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream live per-spec fleet progress to stderr",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress informational stdout (failures still reach stderr "
+        "and the exit code)",
+    )
+    parser.add_argument(
+        "--fleet-log",
+        default=None,
+        help="append one JSON line per fleet event to this file",
+    )
+
+
+class _TelemetryScope:
+    """Context manager yielding a FleetTelemetry (or None) per the args."""
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self._progress = getattr(args, "progress", False)
+        self._log = getattr(args, "fleet_log", None)
+        self._telemetry = None
+
+    def __enter__(self):
+        if not (self._progress or self._log):
+            return None
+        from repro.obs.fleet import FleetTelemetry
+
+        self._telemetry = FleetTelemetry(
+            log_path=self._log, progress=self._progress
+        )
+        return self._telemetry
+
+    def __exit__(self, *_exc) -> None:
+        if self._telemetry is not None:
+            self._telemetry.close()
+
+
+def _make_telemetry(args: argparse.Namespace) -> _TelemetryScope:
+    return _TelemetryScope(args)
+
+
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("--wavefronts", type=int, default=64)
@@ -363,6 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra attempts for a crashed/failed/timed-out job",
     )
     _add_run_args(compare)
+    _add_verbosity_args(compare)
     compare.set_defaults(func=_cmd_compare)
 
     faults = sub.add_parser(
@@ -381,7 +540,78 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write one Perfetto trace per case into this directory",
     )
+    _add_verbosity_args(faults)
     faults.set_defaults(func=_cmd_faults)
+
+    fleet = sub.add_parser(
+        "fleet-report",
+        help="run a workload×scheduler×seed sweep and aggregate a fleet report",
+    )
+    fleet.add_argument(
+        "--workloads", default="MVT,XSB",
+        help="comma-separated Table II abbreviations",
+    )
+    fleet.add_argument(
+        "--schedulers", default="fcfs,simt",
+        help="comma-separated policy names",
+    )
+    fleet.add_argument(
+        "--seeds", type=int, default=2,
+        help="seeds per (workload, scheduler) cell: 0..N-1",
+    )
+    fleet.add_argument(
+        "--baseline", default="fcfs",
+        help="scheduler every speedup is measured against",
+    )
+    fleet.add_argument("--scale", type=float, default=0.1)
+    fleet.add_argument("--wavefronts", type=int, default=8)
+    fleet.add_argument("--jobs", type=int, default=1)
+    fleet.add_argument("--timeout", type=float, default=None)
+    fleet.add_argument("--retries", type=int, default=0)
+    fleet.add_argument(
+        "--metrics", action="store_true",
+        help="sample per-run MetricsRegistry dumps and merge them per scheduler",
+    )
+    fleet.add_argument(
+        "--config",
+        default=None,
+        help="JSON machine description (possibly partial); see repro.config_io",
+    )
+    fleet.add_argument(
+        "--out", default="fleet_report.json",
+        help="where to write the aggregated JSON report",
+    )
+    fleet.add_argument(
+        "--markdown", default=None,
+        help="also write the markdown rendering here",
+    )
+    _add_verbosity_args(fleet)
+    fleet.set_defaults(func=_cmd_fleet_report)
+
+    bench_check = sub.add_parser(
+        "bench-check",
+        help="gate current BENCH_*.json numbers against committed baselines",
+    )
+    bench_check.add_argument(
+        "--baseline-dir", default="benchmarks/baselines",
+        help="directory holding the committed baseline BENCH_*.json files",
+    )
+    bench_check.add_argument(
+        "--current-dir", default=".",
+        help="directory holding the current BENCH_*.json files",
+    )
+    bench_check.add_argument(
+        "--json", default=None, help="also write the gate report as JSON here"
+    )
+    bench_check.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (for gate tuning)",
+    )
+    bench_check.add_argument(
+        "--quiet", action="store_true",
+        help="print nothing unless the gate fails",
+    )
+    bench_check.set_defaults(func=_cmd_bench_check)
 
     trace = sub.add_parser(
         "trace", help="simulate with lifecycle tracing; write a Perfetto trace"

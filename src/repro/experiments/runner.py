@@ -16,6 +16,8 @@ loses one job, never the sweep).
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 import traceback as traceback_module
 from dataclasses import dataclass
@@ -29,6 +31,7 @@ from repro.memory.subsystem import MemorySubsystem
 from repro.mmu.geometry import geometry_by_name
 from repro.mmu.iommu import IOMMU
 from repro.mmu.page_table import FrameAllocator, PageTable
+from repro.obs.fleet import FleetTelemetry
 from repro.obs.metrics import (
     DEFAULT_SAMPLE_INTERVAL_EVENTS,
     MetricsRegistry,
@@ -385,21 +388,62 @@ def _run_one_spec(spec: Mapping[str, Any]) -> SimulationResult:
 # ----------------------------------------------------------------------
 
 
-def _spec_worker(conn, spec: Mapping[str, Any]) -> None:
-    """Child-process entry: run one spec, ship the verdict up the pipe."""
+def _spec_worker(
+    conn, spec: Mapping[str, Any], heartbeat_seconds: Optional[float] = None
+) -> None:
+    """Child-process entry: run one spec, ship the verdict up the pipe.
+
+    With ``heartbeat_seconds`` set (fleet telemetry enabled), a daemon
+    thread periodically piggybacks ``("hb", {...})`` liveness pings on
+    the same result pipe; the parent relays them to the
+    :class:`~repro.obs.fleet.FleetTelemetry` collector.  Heartbeats are
+    wall-clock bookkeeping around the simulation, never inside it, so
+    results stay bit-identical with telemetry on or off.
+    """
+    send_lock = threading.Lock()
+    stop_beating: Optional[threading.Event] = None
+    if heartbeat_seconds is not None:
+        stop_beating = threading.Event()
+        started = time.monotonic()
+
+        def beat() -> None:
+            while not stop_beating.wait(heartbeat_seconds):
+                try:
+                    with send_lock:
+                        conn.send(
+                            (
+                                "hb",
+                                {
+                                    "pid": os.getpid(),
+                                    "elapsed_seconds": round(
+                                        time.monotonic() - started, 3
+                                    ),
+                                },
+                            )
+                        )
+                except Exception:
+                    return  # pipe gone: the parent stopped listening
+
+        threading.Thread(target=beat, daemon=True).start()
     try:
         result = _run_one_spec(spec)
-        conn.send(("ok", result))
+        if stop_beating is not None:
+            stop_beating.set()
+        with send_lock:
+            conn.send(("ok", result))
     except BaseException as exc:  # report *everything*, then die quietly
+        if stop_beating is not None:
+            stop_beating.set()
         try:
-            conn.send(
-                (
-                    "error",
-                    type(exc).__name__,
-                    str(exc),
-                    traceback_module.format_exc(),
+            with send_lock:
+                conn.send(
+                    (
+                        "error",
+                        type(exc).__name__,
+                        str(exc),
+                        traceback_module.format_exc(),
+                    )
                 )
-            )
         except Exception:
             pass
     finally:
@@ -432,6 +476,7 @@ def run_many_resilient(
     retries: int = 0,
     backoff_seconds: float = RETRY_BACKOFF_SECONDS,
     checkpoint: Optional[str] = None,
+    telemetry: Optional[FleetTelemetry] = None,
 ) -> List[RunOutcome]:
     """Run every spec, absorbing crashes; one :class:`RunOutcome` each.
 
@@ -443,6 +488,11 @@ def run_many_resilient(
       extra attempts, with exponential backoff from ``backoff_seconds``.
     * ``checkpoint`` names a directory where successful results persist;
       a re-invocation with the same specs resumes from completed jobs.
+    * ``telemetry`` is a :class:`~repro.obs.fleet.FleetTelemetry`
+      collector: every spec start/finish/retry/timeout — plus worker
+      heartbeats on the process path — is reported as it happens.
+      Telemetry observes the sweep from outside the simulations, so
+      results are bit-identical with it on or off.
 
     Outcomes come back in spec order.  Serial runs without a timeout
     execute in-process (identical to :func:`run_simulation` in a loop);
@@ -474,6 +524,16 @@ def run_many_resilient(
                 continue
         todo.append(index)
 
+    if telemetry is not None:
+        telemetry.sweep_started(
+            total=len(specs),
+            jobs=1 if jobs is None else max(1, jobs),
+            checkpointed=len(specs) - len(todo),
+        )
+        for index, outcome in enumerate(outcomes):
+            if outcome is not None:
+                telemetry.spec_finished(outcome)
+
     if todo:
         # Asking for jobs > 1 is asking for isolation, even on a single
         # remaining spec — never let a crashing job share our process.
@@ -482,16 +542,23 @@ def run_many_resilient(
         if use_processes:
             _run_in_processes(
                 specs, todo, outcomes, max_workers, timeout, retries,
-                backoff_seconds, store,
+                backoff_seconds, store, telemetry,
             )
         else:
-            _run_in_process(specs, todo, outcomes, retries, backoff_seconds, store)
+            _run_in_process(
+                specs, todo, outcomes, retries, backoff_seconds, store,
+                telemetry,
+            )
 
+    if telemetry is not None:
+        telemetry.sweep_finished()
     assert all(outcome is not None for outcome in outcomes)
     return outcomes  # type: ignore[return-value]
 
 
-def _finish_ok(outcomes, store, specs, index, result, attempt, started) -> None:
+def _finish_ok(
+    outcomes, store, specs, index, result, attempt, started, telemetry=None
+) -> None:
     outcomes[index] = RunOutcome(
         index=index,
         spec_summary=describe_spec(specs[index]),
@@ -502,18 +569,33 @@ def _finish_ok(outcomes, store, specs, index, result, attempt, started) -> None:
     )
     if store is not None:
         store.store(specs[index], result)
+    if telemetry is not None:
+        telemetry.spec_finished(outcomes[index])
 
 
-def _run_in_process(specs, todo, outcomes, retries, backoff_seconds, store) -> None:
+def _run_in_process(
+    specs, todo, outcomes, retries, backoff_seconds, store, telemetry=None
+) -> None:
     """Serial fallback: same retry semantics, no process isolation."""
     for index in todo:
         started = time.monotonic()
         for attempt in range(1, retries + 2):
+            if telemetry is not None:
+                telemetry.spec_started(
+                    index, describe_spec(specs[index]), attempt
+                )
             try:
                 result = _run_one_spec(specs[index])
             except Exception as exc:
                 if attempt <= retries:
-                    time.sleep(_backoff_delay(attempt, backoff_seconds))
+                    delay = _backoff_delay(attempt, backoff_seconds)
+                    if telemetry is not None:
+                        telemetry.spec_retry(
+                            index, describe_spec(specs[index]), attempt,
+                            STATUS_FAILED, type(exc).__name__, str(exc),
+                            delay,
+                        )
+                    time.sleep(delay)
                     continue
                 outcomes[index] = RunOutcome(
                     index=index,
@@ -525,14 +607,20 @@ def _run_in_process(specs, todo, outcomes, retries, backoff_seconds, store) -> N
                     attempts=attempt,
                     elapsed_seconds=time.monotonic() - started,
                 )
+                if telemetry is not None:
+                    telemetry.spec_finished(outcomes[index])
                 break
             else:
-                _finish_ok(outcomes, store, specs, index, result, attempt, started)
+                _finish_ok(
+                    outcomes, store, specs, index, result, attempt, started,
+                    telemetry,
+                )
                 break
 
 
 def _run_in_processes(
-    specs, todo, outcomes, max_workers, timeout, retries, backoff_seconds, store
+    specs, todo, outcomes, max_workers, timeout, retries, backoff_seconds,
+    store, telemetry=None,
 ) -> None:
     """Process-per-job executor: crash isolation, timeouts, retries."""
     import multiprocessing as mp
@@ -544,11 +632,16 @@ def _run_in_processes(
     live: List[_LiveJob] = []
     #: First-attempt start per index, for elapsed accounting.
     first_started: Dict[int, float] = {}
+    heartbeat_seconds = (
+        telemetry.heartbeat_seconds if telemetry is not None else None
+    )
 
     def launch(index: int, attempt: int) -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(
-            target=_spec_worker, args=(child_conn, specs[index]), daemon=True
+            target=_spec_worker,
+            args=(child_conn, specs[index], heartbeat_seconds),
+            daemon=True,
         )
         process.start()
         child_conn.close()
@@ -565,12 +658,19 @@ def _run_in_processes(
                 started=now,
             )
         )
+        if telemetry is not None:
+            telemetry.spec_started(index, describe_spec(specs[index]), attempt)
 
     def settle(job: _LiveJob, status: str, error_type, error, tb) -> None:
         """A job attempt ended badly: retry within budget or record it."""
         if job.attempt <= retries:
-            ready = time.monotonic() + _backoff_delay(job.attempt, backoff_seconds)
-            queued.append((ready, job.index, job.attempt + 1))
+            delay = _backoff_delay(job.attempt, backoff_seconds)
+            queued.append((time.monotonic() + delay, job.index, job.attempt + 1))
+            if telemetry is not None:
+                telemetry.spec_retry(
+                    job.index, describe_spec(job.spec), job.attempt,
+                    status, error_type, error, delay,
+                )
             return
         outcomes[job.index] = RunOutcome(
             index=job.index,
@@ -582,6 +682,8 @@ def _run_in_processes(
             attempts=job.attempt,
             elapsed_seconds=time.monotonic() - first_started[job.index],
         )
+        if telemetry is not None:
+            telemetry.spec_finished(outcomes[job.index])
 
     def reap(job: _LiveJob) -> None:
         live.remove(job)
@@ -632,11 +734,17 @@ def _run_in_processes(
                         None,
                     )
                     continue
+                if message[0] == "hb":
+                    # Liveness ping piggybacked on the result pipe; the
+                    # worker is still running, so keep it live.
+                    if telemetry is not None:
+                        telemetry.heartbeat(job.index, job.attempt, message[1])
+                    continue
                 reap(job)
                 if message[0] == "ok":
                     _finish_ok(
                         outcomes, store, specs, job.index, message[1],
-                        job.attempt, first_started[job.index],
+                        job.attempt, first_started[job.index], telemetry,
                     )
                 else:
                     _, error_type, error, tb = message
@@ -648,6 +756,11 @@ def _run_in_processes(
                 for job in [j for j in live if j.deadline is not None and j.deadline <= now]:
                     job.process.terminate()
                     reap(job)
+                    if telemetry is not None:
+                        telemetry.spec_timeout(
+                            job.index, describe_spec(job.spec), job.attempt,
+                            timeout,
+                        )
                     settle(
                         job,
                         STATUS_TIMEOUT,
@@ -671,6 +784,7 @@ def run_many(
     retries: int = 0,
     checkpoint: Optional[str] = None,
     return_outcomes: bool = False,
+    telemetry: Optional[FleetTelemetry] = None,
 ) -> Union[List[SimulationResult], List[RunOutcome]]:
     """Run many simulations, optionally across worker processes.
 
@@ -686,11 +800,13 @@ def run_many(
     job ultimately fails.  Pass ``return_outcomes=True`` (or use
     :func:`run_many_resilient` directly) to receive one
     :class:`~repro.resilience.outcomes.RunOutcome` per spec instead,
-    with failures recorded rather than raised.  ``timeout``, ``retries``
-    and ``checkpoint`` are forwarded to the resilient executor.
+    with failures recorded rather than raised.  ``timeout``, ``retries``,
+    ``checkpoint`` and ``telemetry`` are forwarded to the resilient
+    executor.
     """
     outcomes = run_many_resilient(
-        specs, jobs=jobs, timeout=timeout, retries=retries, checkpoint=checkpoint
+        specs, jobs=jobs, timeout=timeout, retries=retries,
+        checkpoint=checkpoint, telemetry=telemetry,
     )
     if return_outcomes:
         return outcomes

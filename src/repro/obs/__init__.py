@@ -1,17 +1,33 @@
-"""repro.obs — observability for the translation pipeline.
+"""repro.obs — observability for the translation pipeline and its fleets.
 
-Three cooperating layers, all zero-overhead when disabled:
+Six cooperating layers, all zero-overhead when disabled:
 
 * :mod:`repro.obs.trace` — ring-buffered lifecycle tracing with
   Chrome/Perfetto and JSONL export;
 * :mod:`repro.obs.metrics` — a live registry of counters/gauges/
-  histograms sampled on the simulator monitor hook;
+  histograms sampled on the simulator monitor hook (mergeable across
+  runs for sweep aggregation);
 * :mod:`repro.obs.profiler` — wall-clock phase profiling of the
-  simulator's own hot paths.
+  simulator's own hot paths;
+* :mod:`repro.obs.fleet` — live progress telemetry for multi-run
+  sweeps (JSONL fleet log, stderr progress, worker heartbeats);
+* :mod:`repro.obs.aggregate` — deterministic cross-run aggregation
+  into a fleet report (distributions, geomean speedups);
+* :mod:`repro.obs.regress` — benchmark regression gating against
+  committed ``BENCH_*.json`` baselines.
 
 See ``docs/OBSERVABILITY.md`` for the event schema and how-tos.
 """
 
+from repro.obs.aggregate import (
+    deterministic_view,
+    distribution,
+    fleet_markdown,
+    fleet_report,
+    render_fleet_report,
+    sweep_specs,
+)
+from repro.obs.fleet import DEFAULT_HEARTBEAT_SECONDS, FleetTelemetry
 from repro.obs.metrics import (
     DEFAULT_SAMPLE_INTERVAL_EVENTS,
     Counter,
@@ -21,6 +37,13 @@ from repro.obs.metrics import (
     install_standard_metrics,
 )
 from repro.obs.profiler import PhaseProfiler
+from repro.obs.regress import (
+    DEFAULT_METRICS,
+    MetricSpec,
+    check_benches,
+    compare_metric,
+    render_check,
+)
 from repro.obs.trace import (
     DEFAULT_RING_SIZE,
     TRACE_CATEGORIES,
@@ -32,16 +55,29 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_HEARTBEAT_SECONDS",
+    "DEFAULT_METRICS",
     "DEFAULT_RING_SIZE",
     "DEFAULT_SAMPLE_INTERVAL_EVENTS",
+    "FleetTelemetry",
     "Gauge",
+    "MetricSpec",
     "MetricsRegistry",
     "PhaseProfiler",
     "TRACE_CATEGORIES",
     "TraceConfig",
     "Tracer",
     "build_tracer",
+    "check_benches",
+    "compare_metric",
+    "deterministic_view",
+    "distribution",
     "finalize_standard_metrics",
+    "fleet_markdown",
+    "fleet_report",
     "install_standard_metrics",
+    "render_check",
+    "render_fleet_report",
+    "sweep_specs",
     "validate_chrome_trace",
 ]

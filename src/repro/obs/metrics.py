@@ -71,6 +71,26 @@ class Gauge:
         if self.max_value is None or value > self.max_value:
             self.max_value = value
 
+    def merge(self, other: "Gauge") -> None:
+        """Fold another run's watermarks into this gauge in place.
+
+        Watermarks combine exactly (min of mins, max of maxes) and
+        sample counts add; ``value`` becomes the merged-in gauge's last
+        value — point-in-time values from different runs have no single
+        truth, the watermarks are the cross-run signal.
+        """
+        if other.samples:
+            self.value = other.value
+        self.samples += other.samples
+        if other.min_value is not None and (
+            self.min_value is None or other.min_value < self.min_value
+        ):
+            self.min_value = other.min_value
+        if other.max_value is not None and (
+            self.max_value is None or other.max_value > self.max_value
+        ):
+            self.max_value = other.max_value
+
 
 class MetricsRegistry:
     """Named counters, gauges and histograms plus a sampled time series.
@@ -134,6 +154,66 @@ class MetricsRegistry:
             self.series = self.series[::2]
             self._series_stride *= 2
 
+    # -- merging (cross-run aggregation) --------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another run's registry into this one in place.
+
+        Built for sweep aggregation: counters add, gauge watermarks
+        combine (:meth:`Gauge.merge`), histograms merge bucket-by-bucket
+        via :meth:`BucketHistogram.merge` (raising :class:`ValueError`
+        on shape mismatch — never silently misfiling counts), and
+        instruments present only in ``other`` are copied in.  The
+        sampled time series is deliberately *not* concatenated: cycle
+        axes from different runs don't compose, so the merged registry
+        keeps only this registry's own series.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).merge(gauge)
+        for name, histogram in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                self._histograms[name] = BucketHistogram.from_counts(
+                    histogram.bucket_bounds(),
+                    histogram.counts(),
+                    histogram.out_of_range,
+                )
+            else:
+                mine.merge(histogram)
+        self.samples_taken += other.samples_taken
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from an :meth:`as_dict` dump.
+
+        The inverse of export, up to the decimated series (restored
+        as-is).  Lets archived per-run dumps — e.g. each sweep result's
+        ``detail["metrics"]`` — be re-materialised and merged.
+        """
+        registry = cls()
+        for name, value in data.get("counters", {}).items():
+            registry.counter(name).inc(int(value))
+        for name, dump in data.get("gauges", {}).items():
+            gauge = registry.gauge(name)
+            gauge.value = dump["value"]
+            gauge.min_value = dump.get("min")
+            gauge.max_value = dump.get("max")
+            gauge.samples = int(dump.get("samples", 0))
+        for name, dump in data.get("histograms", {}).items():
+            registry._histograms[name] = BucketHistogram.from_counts(
+                [tuple(bucket) for bucket in dump["buckets"]],
+                dump["counts"],
+                dump.get("out_of_range", 0),
+            )
+        for row in data.get("series", []):
+            row = dict(row)
+            cycle = row.pop("cycle")
+            registry.series.append((cycle, row))
+        registry.samples_taken = int(data.get("samples_taken", 0))
+        return registry
+
     # -- export ---------------------------------------------------------
 
     def as_dict(self) -> Dict[str, object]:
@@ -148,11 +228,15 @@ class MetricsRegistry:
                     "value": gauge.value,
                     "min": gauge.min_value,
                     "max": gauge.max_value,
+                    "samples": gauge.samples,
                 }
                 for name, gauge in sorted(self._gauges.items())
             },
             "histograms": {
                 name: {
+                    "buckets": [
+                        list(bucket) for bucket in histogram.bucket_bounds()
+                    ],
                     "labels": histogram.labels(),
                     "counts": histogram.counts(),
                     "total": histogram.total,

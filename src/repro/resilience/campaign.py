@@ -30,6 +30,7 @@ from repro.config import (
     SystemConfig,
     TLBConfig,
 )
+from repro.obs.fleet import FleetTelemetry
 from repro.obs.trace import TraceConfig
 from repro.resilience.faults import SAFE_KINDS, TLB_SITES, FaultEvent, FaultPlan
 
@@ -179,12 +180,20 @@ def run_campaign(
     timeout: Optional[float] = None,
     retries: int = 0,
     trace_dir: Optional[str] = None,
+    telemetry: Optional[FleetTelemetry] = None,
 ) -> Dict[str, Any]:
     """Run one seeded campaign; returns a deterministic JSON-able report.
 
     ``trace_dir`` additionally writes one Chrome/Perfetto trace per case
     (deterministic: simulation-cycle timestamps only), with fault
-    injections annotated as instant events.
+    injections annotated as instant events.  ``telemetry`` streams the
+    campaign's per-case progress (including retries and timeouts) to a
+    :class:`~repro.obs.fleet.FleetTelemetry` collector.
+
+    A case that only succeeded after retries — or never did — is not
+    just visible in its own record: the summary carries ``retried``
+    (extra attempts across all cases) and ``timed_out`` so a silently
+    re-run case can never hide inside an "all completed" campaign.
     """
     from repro.experiments.runner import run_many_resilient
 
@@ -192,7 +201,8 @@ def run_campaign(
         os.makedirs(trace_dir, exist_ok=True)
     cases = campaign_cases(seed, runs, trace_dir=trace_dir)
     outcomes = run_many_resilient(
-        cases, jobs=jobs, timeout=timeout, retries=retries
+        cases, jobs=jobs, timeout=timeout, retries=retries,
+        telemetry=telemetry,
     )
     records = [
         _case_record(case, outcome) for case, outcome in zip(cases, outcomes)
@@ -201,6 +211,8 @@ def run_campaign(
         "campaign_seed": seed,
         "runs": runs,
         "completed": sum(1 for r in records if r["status"] == "ok"),
+        "retried": sum(max(0, o.attempts - 1) for o in outcomes),
+        "timed_out": sum(1 for o in outcomes if o.status == "timeout"),
         "cases": records,
     }
 

@@ -24,7 +24,9 @@ class BucketHistogram:
         for low, high in buckets:
             if low > high:
                 raise ValueError(f"bucket ({low}, {high}) is inverted")
-        self._buckets = list(buckets)
+        # Normalised to tuples so merges compare equal regardless of
+        # whether bounds arrived as tuples or (JSON) lists.
+        self._buckets = [(low, high) for low, high in buckets]
         self._counts = [0] * len(buckets)
         self.total = 0
         self.out_of_range = 0
@@ -66,6 +68,32 @@ class BucketHistogram:
             self._counts[index] += count
         self.total += other.total
         self.out_of_range += other.out_of_range
+
+    @classmethod
+    def from_counts(
+        cls,
+        buckets: Sequence[Tuple[int, int]],
+        counts: Sequence[int],
+        out_of_range: int = 0,
+    ) -> "BucketHistogram":
+        """Rebuild a histogram from an exported (buckets, counts) pair.
+
+        The inverse of dumping ``bucket_bounds()``/``counts()`` to JSON,
+        used when merging archived per-run registries across a sweep.
+        """
+        histogram = cls(buckets)
+        if len(counts) != len(histogram._counts):
+            raise ValueError(
+                f"{len(counts)} counts for {len(histogram._counts)} buckets"
+            )
+        histogram._counts = [int(count) for count in counts]
+        histogram.out_of_range = int(out_of_range)
+        histogram.total = sum(histogram._counts) + histogram.out_of_range
+        return histogram
+
+    def bucket_bounds(self) -> List[Tuple[int, int]]:
+        """The (low, high) bucket ranges, in declaration order."""
+        return [tuple(bucket) for bucket in self._buckets]
 
     def counts(self) -> List[int]:
         return list(self._counts)

@@ -162,3 +162,76 @@ def test_parser_requires_command():
 def test_run_rejects_unknown_scheduler():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "MVT", "--scheduler", "bogus"])
+
+
+def test_fleet_report_command(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "fleet.json"
+    md = tmp_path / "fleet.md"
+    code = main([
+        "fleet-report", "--workloads", "kmn", "--schedulers", "fcfs,simt",
+        "--seeds", "1", "--scale", "0.05", "--wavefronts", "4",
+        "--out", str(out), "--markdown", str(md),
+    ])
+    assert code == 0
+    assert "# Fleet report" in capsys.readouterr().out
+    report = json.loads(out.read_text())
+    assert report["format"] == "repro-fleet-report"
+    assert report["ok"] == 2
+    assert "KMN/simt" in report["groups"]
+    assert "# Fleet report" in md.read_text()
+
+
+def test_fleet_report_progress_and_log(tmp_path, capsys):
+    import json
+
+    log = tmp_path / "fleet.jsonl"
+    code = main([
+        "fleet-report", "--workloads", "kmn", "--schedulers", "fcfs",
+        "--seeds", "1", "--scale", "0.05", "--wavefronts", "4",
+        "--out", str(tmp_path / "fleet.json"),
+        "--progress", "--fleet-log", str(log), "--quiet",
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert captured.out == ""          # --quiet silences stdout
+    assert "fleet:" in captured.err    # --progress streams to stderr
+    events = [json.loads(l)["event"] for l in log.read_text().splitlines()]
+    assert events[0] == "sweep_started" and events[-1] == "sweep_finished"
+    # The quiet report also lands in the JSON's telemetry summary.
+    report = json.loads((tmp_path / "fleet.json").read_text())
+    assert report["telemetry"]["ok"] == 1
+
+
+def test_fleet_report_progress_quiet_not_exclusive():
+    # --quiet silences the stdout report; --progress streams to stderr.
+    # They compose (quiet progress-bar usage), so both at once parse.
+    parser = build_parser()
+    args = parser.parse_args([
+        "fleet-report", "--quiet", "--progress", "--out", "x.json",
+    ])
+    assert args.quiet and args.progress
+
+
+def test_compare_quiet_suppresses_stdout(capsys):
+    code = main([
+        "compare", "kmn", "--schedulers", "fcfs,simt",
+        "--scale", "0.05", "--wavefronts", "4", "--quiet",
+    ])
+    assert code == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_faults_quiet_with_output_file(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "campaign.json"
+    code = main([
+        "faults", "--runs", "2", "--output", str(out), "--quiet",
+    ])
+    assert code == 0
+    assert capsys.readouterr().out == ""
+    report = json.loads(out.read_text())
+    assert report["completed"] == 2
+    assert report["retried"] == 0 and report["timed_out"] == 0

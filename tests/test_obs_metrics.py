@@ -82,8 +82,11 @@ class TestSeries:
         registry.sample(50)
         data = registry.as_dict()
         assert data["counters"] == {"c": 2}
-        assert data["gauges"]["g"] == {"value": 4, "min": 4, "max": 4}
+        assert data["gauges"]["g"] == {
+            "value": 4, "min": 4, "max": 4, "samples": 1,
+        }
         assert data["histograms"]["h"]["total"] == 1
+        assert data["histograms"]["h"]["buckets"][0] == [0, 0]
         assert data["series"] == [{"cycle": 50, "g": 4}]
         assert data["samples_taken"] == 1
 

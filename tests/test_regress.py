@@ -1,0 +1,245 @@
+"""Regression gate: bench envelopes, metric comparison, verdicts.
+
+The acceptance story: the gate must PASS when current numbers match the
+committed baseline and FAIL (nonzero via the CLI) when a watched metric
+is perturbed past its threshold — with missing files reported as
+warnings, never regressions, so the gate can be adopted bench by bench.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.regress import (
+    BENCH_FILES,
+    MetricSpec,
+    check_benches,
+    compare_metric,
+    get_path,
+    render_check,
+)
+from repro.stats.export import (
+    BENCH_FORMAT,
+    bench_environment,
+    load_bench_report,
+    write_bench_report,
+)
+
+
+# ----------------------------------------------------------------------
+# Envelope
+# ----------------------------------------------------------------------
+
+
+def test_write_and_load_round_trip(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    document = write_bench_report("x", {"metric": 1.5}, path)
+    assert document["format"] == BENCH_FORMAT and document["bench"] == "x"
+    loaded = load_bench_report(path)
+    assert loaded["data"] == {"metric": 1.5}
+    assert loaded["environment"]["python"]
+
+
+def test_load_legacy_payload_is_wrapped(tmp_path):
+    path = tmp_path / "BENCH_old.json"
+    path.write_text(json.dumps({"metric": 2.5}))
+    loaded = load_bench_report(path)
+    assert loaded["format"] == BENCH_FORMAT and loaded["version"] == 0
+    assert loaded["bench"] is None
+    assert loaded["data"] == {"metric": 2.5}
+
+
+def test_envelope_without_data_rejected(tmp_path):
+    path = tmp_path / "BENCH_bad.json"
+    path.write_text(json.dumps({"format": BENCH_FORMAT, "version": 1}))
+    with pytest.raises(ValueError, match="no data"):
+        load_bench_report(path)
+
+
+def test_bench_environment_keys():
+    env = bench_environment()
+    assert {"python", "platform", "machine", "cpu_count"} <= set(env)
+
+
+# ----------------------------------------------------------------------
+# Metric comparison
+# ----------------------------------------------------------------------
+
+
+def test_get_path_nested_and_missing():
+    data = {"a": {"b": {"c": 3}}}
+    assert get_path(data, "a.b.c") == 3
+    assert get_path(data, "a.b.missing") is None
+    assert get_path(data, "a.b.c.deeper") is None
+
+
+@pytest.mark.parametrize(
+    "direction, baseline, current, status",
+    [
+        ("higher", 1.0, 1.0, "ok"),
+        ("higher", 1.0, 1.2, "improved"),
+        ("higher", 1.0, 0.95, "ok"),          # within 10% budget
+        ("higher", 1.0, 0.85, "regression"),  # past it
+        ("lower", 1.0, 1.05, "ok"),
+        ("lower", 1.0, 0.9, "improved"),
+        ("lower", 1.0, 1.2, "regression"),
+        ("exact", True, True, "ok"),
+        ("exact", True, False, "regression"),
+        ("exact", {"g": 1}, {"g": 2}, "regression"),
+    ],
+)
+def test_compare_metric_verdicts(direction, baseline, current, status):
+    spec = MetricSpec("b", "p", direction, 0.10)
+    assert compare_metric(spec, baseline, current)["status"] == status
+
+
+def test_compare_metric_missing_sides():
+    spec = MetricSpec("b", "p", "higher", 0.1)
+    assert compare_metric(spec, None, 1.0)["status"] == "missing"
+    assert compare_metric(spec, 1.0, None)["status"] == "missing"
+
+
+def test_compare_metric_unknown_direction():
+    with pytest.raises(ValueError, match="direction"):
+        compare_metric(MetricSpec("b", "p", "sideways"), 1.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# The gate
+# ----------------------------------------------------------------------
+
+GATE_METRICS = (
+    MetricSpec("demo", "speed.value", "higher", 0.10),
+    MetricSpec("demo", "identical", "exact"),
+)
+GATE_BENCHES = {"demo": "BENCH_demo.json"}
+
+#: Repo root, so the committed-baseline tests work from any cwd.
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def _write_demo(directory, speed=10.0, identical=True):
+    directory.mkdir(parents=True, exist_ok=True)
+    write_bench_report(
+        "demo", {"speed": {"value": speed}, "identical": identical},
+        directory / "BENCH_demo.json",
+    )
+
+
+def test_gate_passes_on_identical_baseline(tmp_path):
+    _write_demo(tmp_path / "base")
+    _write_demo(tmp_path / "cur")
+    report = check_benches(tmp_path / "base", tmp_path / "cur",
+                           metrics=GATE_METRICS, benches=GATE_BENCHES)
+    assert report["ok"] and report["regressions"] == 0
+    assert "PASS" in render_check(report)
+
+
+def test_gate_fails_on_perturbed_metric(tmp_path):
+    _write_demo(tmp_path / "base", speed=10.0)
+    _write_demo(tmp_path / "cur", speed=8.0)  # -20% past the 10% budget
+    report = check_benches(tmp_path / "base", tmp_path / "cur",
+                           metrics=GATE_METRICS, benches=GATE_BENCHES)
+    assert not report["ok"] and report["regressions"] == 1
+    assert "FAIL" in render_check(report)
+
+
+def test_gate_fails_on_exact_mismatch(tmp_path):
+    _write_demo(tmp_path / "base", identical=True)
+    _write_demo(tmp_path / "cur", identical=False)
+    report = check_benches(tmp_path / "base", tmp_path / "cur",
+                           metrics=GATE_METRICS, benches=GATE_BENCHES)
+    assert not report["ok"]
+
+
+def test_gate_tolerates_improvement(tmp_path):
+    _write_demo(tmp_path / "base", speed=10.0)
+    _write_demo(tmp_path / "cur", speed=14.0)
+    report = check_benches(tmp_path / "base", tmp_path / "cur",
+                           metrics=GATE_METRICS, benches=GATE_BENCHES)
+    assert report["ok"]
+    assert report["rows"][0]["status"] == "improved"
+
+
+def test_missing_bench_file_warns_not_fails(tmp_path):
+    _write_demo(tmp_path / "base")
+    (tmp_path / "cur").mkdir()
+    report = check_benches(tmp_path / "base", tmp_path / "cur",
+                           metrics=GATE_METRICS, benches=GATE_BENCHES)
+    assert report["ok"]
+    assert report["missing"] == len(GATE_METRICS)
+
+
+def test_unreadable_bench_file_raises(tmp_path):
+    base = tmp_path / "base"
+    base.mkdir()
+    (base / "BENCH_demo.json").write_text("not json {")
+    with pytest.raises(ValueError, match="unreadable"):
+        check_benches(base, tmp_path, metrics=GATE_METRICS,
+                      benches=GATE_BENCHES)
+
+
+def test_default_gate_passes_on_committed_baseline():
+    """The acceptance check: repo-root BENCH files vs their baselines.
+
+    Every bench that exists on both sides must compare clean — a
+    regression here means someone regenerated a BENCH file without
+    refreshing (or deliberately diverging from) its committed baseline.
+    """
+    report = check_benches(ROOT / "benchmarks" / "baselines", ROOT)
+    assert report["ok"], render_check(report)
+
+
+def test_default_gate_fails_on_perturbed_baseline(tmp_path):
+    """Perturbing a committed current file must trip the default gate."""
+    current = load_bench_report(ROOT / "BENCH_fleet.json")
+    data = json.loads(json.dumps(current["data"]))
+    group = sorted(data["sweep"]["total_cycles_by_group"])[0]
+    data["sweep"]["total_cycles_by_group"][group] += 1
+    write_bench_report("fleet", data, tmp_path / "BENCH_fleet.json")
+    report = check_benches(ROOT / "benchmarks" / "baselines", tmp_path,
+                           benches={"fleet": BENCH_FILES["fleet"]})
+    assert not report["ok"]
+    broken = [r for r in report["rows"] if r["status"] == "regression"]
+    assert any("total_cycles_by_group" in r["metric"] for r in broken)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def test_cli_bench_check_pass_and_json(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out = tmp_path / "gate.json"
+    code = main([
+        "bench-check",
+        "--baseline-dir", str(ROOT / "benchmarks" / "baselines"),
+        "--current-dir", str(ROOT),
+        "--json", str(out),
+    ])
+    assert code == 0
+    assert "PASS" in capsys.readouterr().out
+    assert json.loads(out.read_text())["ok"] is True
+
+
+def test_cli_bench_check_fails_nonzero(tmp_path, capsys):
+    from repro.__main__ import main
+
+    # Perturb a deterministic metric in a copy of the committed fleet
+    # bench; the other current files are simply missing (warn only).
+    current = load_bench_report(ROOT / "BENCH_fleet.json")
+    data = json.loads(json.dumps(current["data"]))
+    data["overhead"]["identical_results"] = False
+    write_bench_report("fleet", data, tmp_path / "BENCH_fleet.json")
+    baseline = ["--baseline-dir", str(ROOT / "benchmarks" / "baselines")]
+    code = main(["bench-check", *baseline, "--current-dir", str(tmp_path)])
+    assert code == 1
+    assert "FAIL" in capsys.readouterr().out
+    # --warn-only downgrades the failure to exit 0.
+    assert main(["bench-check", *baseline, "--current-dir", str(tmp_path),
+                 "--warn-only"]) == 0

@@ -1,7 +1,7 @@
 # Developer conveniences for the repro package.
 
 .PHONY: install test bench perf figures quicktest faults trace overhead \
-	fleet fleet-bench bench-check clean
+	fleet fleet-bench bench-check checkpoint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -37,6 +37,13 @@ fleet-bench:
 
 bench-check:
 	python -m repro bench-check
+
+# Checkpoint/resume round trip: run with periodic state dumps, then
+# resume the leftover mid-run checkpoint — both prints must agree.
+checkpoint:
+	python -m repro run mvt --scale 0.2 --wavefronts 16 \
+		--checkpoint-every 5000 --checkpoint-path mvt.ckpt
+	python -m repro resume mvt.ckpt
 
 figures:
 	python -m repro figure table1

@@ -40,13 +40,17 @@ from repro.config_io import (
     load_config,
     save_config,
 )
+from repro.engine.checkpoint import CheckpointError
 from repro.experiments.runner import (
     build_system,
     compare_schedulers,
+    restore_system,
+    resume_simulation,
     run_many,
     run_many_resilient,
     run_simulation,
     scheduler_sweep_specs,
+    snapshot_system,
 )
 from repro.obs import (
     MetricsRegistry,
@@ -78,6 +82,7 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointError",
     "DRAMConfig",
     "DeadlockDiagnosis",
     "FCFSScheduler",
@@ -114,11 +119,14 @@ __all__ = [
     "save_config",
     "get_workload",
     "make_scheduler",
+    "restore_system",
+    "resume_simulation",
     "run_campaign",
     "run_many",
     "run_many_resilient",
     "run_simulation",
     "scheduler_sweep_specs",
+    "snapshot_system",
     "validate_chrome_trace",
     "workload_names",
     "__version__",

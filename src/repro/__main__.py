@@ -64,6 +64,13 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_result(result) -> None:
+    print(result.summary())
+    print(f"wavefronts/epoch: {result.wavefronts_per_epoch:.2f}")
+    print(f"first/last walk latency: {result.first_walk_latency:.0f} / "
+          f"{result.last_walk_latency:.0f} cycles")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     result = run_simulation(
         args.workload.upper(),
@@ -72,11 +79,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         num_wavefronts=args.wavefronts,
         scale=args.scale,
         seed=args.seed,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint_path,
     )
-    print(result.summary())
-    print(f"wavefronts/epoch: {result.wavefronts_per_epoch:.2f}")
-    print(f"first/last walk latency: {result.first_walk_latency:.0f} / "
-          f"{result.last_walk_latency:.0f} cycles")
+    _print_result(result)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import resume_simulation
+
+    result = resume_simulation(
+        args.checkpoint,
+        max_cycles=args.max_cycles,
+        checkpoint_every=args.checkpoint_every,
+    )
+    _print_result(result)
     return 0
 
 
@@ -492,8 +510,39 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_schedulers(),
         help="walk scheduler (default: the config's policy, fcfs)",
     )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="write an in-run checkpoint every N simulator events "
+        "(requires --checkpoint-path)",
+    )
+    run.add_argument(
+        "--checkpoint-path",
+        default=None,
+        help="where the in-run checkpoint file is (over)written",
+    )
     _add_run_args(run)
     run.set_defaults(func=_cmd_run)
+
+    resume = sub.add_parser(
+        "resume",
+        help="resume an interrupted simulation from an in-run checkpoint",
+    )
+    resume.add_argument("checkpoint", help="checkpoint file written by run")
+    resume.add_argument(
+        "--max-cycles",
+        type=int,
+        default=None,
+        help="override the original run's cycle budget",
+    )
+    resume.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="keep checkpointing every N events (rewrites the same file)",
+    )
+    resume.set_defaults(func=_cmd_resume)
 
     compare = sub.add_parser("compare", help="compare schedulers on a workload")
     compare.add_argument("workload")

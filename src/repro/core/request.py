@@ -36,6 +36,7 @@ class TranslationRequest:
         "complete_time",
         "walk_accesses",
         "on_complete",
+        "context",
     )
 
     def __init__(
@@ -61,8 +62,15 @@ class TranslationRequest:
         #: the translation was satisfied by a TLB instead of a walk).
         self.walk_accesses = 0
         #: Called as ``on_complete(request, pfn)`` when the translation is
-        #: available at the requester.
+        #: available at the requester.  When ``None``, the IOMMU routes
+        #: the reply through its ``reply_to`` sink instead — the
+        #: serialisable path, since the sink is rebuilt with the system
+        #: while a stored closure cannot be checkpointed.
         self.on_complete = on_complete
+        #: Opaque requester-owned data carried through the translation
+        #: round trip (the GPU stores ``(lines, inflight key)`` here).
+        #: Must be plain data for the request to be checkpointable.
+        self.context: tuple = ()
 
     @property
     def latency(self) -> Optional[int]:
@@ -95,6 +103,7 @@ class WalkBufferEntry:
         "requests",
         "bypass_count",
         "estimated_accesses",
+        "pinned_levels",
         "dispatch_time",
         "dispatch_seq",
     )
@@ -116,6 +125,10 @@ class WalkBufferEntry:
         self.bypass_count = 0
         #: PWC-probe estimate of memory accesses for this walk alone.
         self.estimated_accesses = estimated_accesses
+        #: PWC levels counter-pinned when this entry was scored, recorded
+        #: so the walk unpins exactly those levels — not whatever depth
+        #: the walk happens to hit after intervening fills/evictions.
+        self.pinned_levels: tuple = ()
         self.dispatch_time: Optional[int] = None
         self.dispatch_seq: Optional[int] = None
 

@@ -62,6 +62,13 @@ class WalkScheduler(ABC):
         most-recently-scheduled instruction still need to see it.
         """
 
+    def snapshot(self) -> dict:
+        """Checkpointable policy state.  Stateless policies return {}."""
+        return {}
+
+    def restore(self, state: dict) -> None:
+        """Adopt a snapshot produced by :meth:`snapshot`."""
+
 
 class FCFSScheduler(WalkScheduler):
     """First-come-first-serve: the paper's baseline policy."""
@@ -96,6 +103,12 @@ class RandomScheduler(WalkScheduler):
             raise AssertionError("unreachable: index within len(buffer)")
         return entry
 
+    def snapshot(self) -> dict:
+        return {"rng": self._rng.getstate()}
+
+    def restore(self, state: dict) -> None:
+        self._rng.setstate(state["rng"])
+
 
 class SJFScheduler(WalkScheduler):
     """Shortest-job-first on instruction scores only (key idea 1, ablation).
@@ -121,6 +134,12 @@ class SJFScheduler(WalkScheduler):
             choice = buffer.min_score_entry()
         self.aging.record_dispatch(choice)
         return choice
+
+    def snapshot(self) -> dict:
+        return {"aging": self.aging.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        self.aging.restore(state["aging"])
 
 
 class BatchScheduler(WalkScheduler):
@@ -152,6 +171,12 @@ class BatchScheduler(WalkScheduler):
         assert choice is not None
         self.note_dispatch(choice)
         return choice
+
+    def snapshot(self) -> dict:
+        return {"last_instruction": self._last_instruction}
+
+    def restore(self, state: dict) -> None:
+        self._last_instruction = state["last_instruction"]
 
 
 class SIMTAwareScheduler(WalkScheduler):
@@ -195,6 +220,20 @@ class SIMTAwareScheduler(WalkScheduler):
         self.aging.record_dispatch(choice)
         self.note_dispatch(choice)
         return choice
+
+    def snapshot(self) -> dict:
+        return {
+            "aging": self.aging.snapshot(),
+            "last_instruction": self._last_instruction,
+            "batch_hits": self.batch_hits,
+            "sjf_picks": self.sjf_picks,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.aging.restore(state["aging"])
+        self._last_instruction = state["last_instruction"]
+        self.batch_hits = state["batch_hits"]
+        self.sjf_picks = state["sjf_picks"]
 
 
 class FairShareScheduler(WalkScheduler):
@@ -245,6 +284,18 @@ class FairShareScheduler(WalkScheduler):
         self.aging.record_dispatch(choice)
         self.note_dispatch(choice)
         return choice
+
+    def snapshot(self) -> dict:
+        return {
+            "aging": self.aging.snapshot(),
+            "last_instruction": self._last_instruction,
+            "attained_service": dict(self.attained_service),
+        }
+
+    def restore(self, state: dict) -> None:
+        self.aging.restore(state["aging"])
+        self._last_instruction = state["last_instruction"]
+        self.attained_service = dict(state["attained_service"])
 
 
 _FACTORIES: Dict[str, Callable[..., WalkScheduler]] = {

@@ -1,21 +1,29 @@
-"""A stable binary-heap event queue.
+"""A deterministic priority queue of tagged simulation events.
 
-Events are ordered first by timestamp, then by insertion order so that
-events scheduled for the same cycle fire in FIFO order.  This stability
-matters for reproducibility: the simulator must produce bit-identical
-statistics across runs with the same seed.
+Events are plain data: ``(time, sequence, kind, payload)``.  ``kind`` is
+a string naming a handler registered on the simulator and ``payload`` is
+a tuple of arguments for it.  Keeping events as data (instead of bound
+closures) is what makes the queue serialisable: :meth:`snapshot`
+captures the exact heap and insertion sequence, and :meth:`restore`
+rebuilds them so a resumed run pops the identical event order.
+
+Ties at the same timestamp break by insertion order (the monotonically
+increasing sequence number), so event ordering — and therefore every
+simulation statistic — is reproducible.  Comparison never reaches
+``kind`` or ``payload`` because ``(time, sequence)`` is unique.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Tuple
+from typing import Any, Dict, List, Tuple
 
-Event = Tuple[int, int, Callable[[], Any]]
+#: One scheduled event: ``(time, sequence, kind, payload)``.
+Event = Tuple[int, int, str, tuple]
 
 
 class EventQueue:
-    """Min-heap of ``(time, sequence, callback)`` events."""
+    """Min-heap of :data:`Event` tuples ordered by (time, sequence)."""
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
@@ -27,15 +35,15 @@ class EventQueue:
     def __bool__(self) -> bool:
         return bool(self._heap)
 
-    def push(self, time: int, callback: Callable[[], Any]) -> None:
-        """Schedule ``callback`` to fire at ``time``.
+    def push(self, time: int, kind: str, payload: tuple = ()) -> None:
+        """Schedule ``kind`` with ``payload`` at absolute cycle ``time``.
 
         ``time`` must be an integer cycle count; fractional timestamps
         would break the determinism guarantees of the engine.
         """
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time}")
-        heapq.heappush(self._heap, (time, self._sequence, callback))
+        heapq.heappush(self._heap, (time, self._sequence, kind, payload))
         self._sequence += 1
 
     def pop(self) -> Event:
@@ -48,3 +56,16 @@ class EventQueue:
         Raises :class:`IndexError` when the queue is empty.
         """
         return self._heap[0][0]
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The queue as plain data: heap list (already heap-ordered) + seq."""
+        return {"heap": list(self._heap), "sequence": self._sequence}
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Adopt a :meth:`snapshot`'s heap and sequence wholesale."""
+        self._heap = list(state["heap"])
+        self._sequence = state["sequence"]

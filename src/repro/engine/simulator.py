@@ -1,17 +1,27 @@
-"""The simulation kernel: a clock plus an event loop.
+"""The simulation kernel: a clock plus a data-driven event loop.
 
 Every hardware model in this package (TLBs, walkers, DRAM banks, compute
-units) advances by scheduling callbacks on a shared :class:`Simulator`.
-The kernel is deliberately tiny — models register plain callables, there
-is no process/coroutine machinery — which keeps the event loop fast
-enough to run millions of events in pure Python.
+units) advances by posting *tagged events* — ``(kind, payload)`` pairs —
+on a shared :class:`Simulator`.  Components :meth:`register` a handler
+per kind once at construction; the event loop then dispatches
+``handlers[kind](*payload)``.  Because events are plain data, the whole
+pending-event set can be checkpointed mid-run and restored later
+(:meth:`snapshot` / :meth:`restore`) with bit-identical replay.
+
+For convenience (and the unit tests' sake) plain callables still work:
+:meth:`at` / :meth:`after` wrap a callable in the builtin ``"__call__"``
+kind.  Such closure events run fine but cannot be serialised — a
+checkpointable model must schedule only registered kinds.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.engine.event_queue import EventQueue
+
+#: The builtin event kind that carries a plain callable as its payload.
+CALLABLE_KIND = "__call__"
 
 
 class Simulator:
@@ -24,6 +34,14 @@ class Simulator:
         #: Installed monitors: mutable ``[callback, interval, countdown]``
         #: slots, so the run loop decrements in place.
         self._monitors: List[list] = []
+        #: Event dispatch table: kind -> handler(*payload).
+        self._handlers: Dict[str, Callable[..., Any]] = {
+            CALLABLE_KIND: self._run_callable,
+        }
+
+    @staticmethod
+    def _run_callable(fn: Callable[[], Any]) -> None:
+        fn()
 
     @property
     def now(self) -> int:
@@ -39,8 +57,23 @@ class Simulator:
     def pending_events(self) -> int:
         return len(self._queue)
 
-    def at(self, time: int, callback: Callable[[], Any]) -> None:
-        """Schedule ``callback`` at absolute cycle ``time``.
+    # ------------------------------------------------------------------
+    # Handler registry
+    # ------------------------------------------------------------------
+
+    def register(self, kind: str, handler: Callable[..., Any]) -> None:
+        """Bind ``handler`` to event ``kind`` (silently replacing any old
+        binding — components re-register when a system is rebuilt)."""
+        if not kind:
+            raise ValueError("event kind must be a non-empty string")
+        self._handlers[kind] = handler
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def post_at(self, time: int, kind: str, *payload: Any) -> None:
+        """Schedule event ``kind`` at absolute cycle ``time``.
 
         Scheduling in the past is an error — it indicates a model bug
         (e.g. a resource reporting completion before it started).
@@ -49,13 +82,48 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule event at {time}, current time is {self._now}"
             )
-        self._queue.push(time, callback)
+        self._queue.push(time, kind, payload)
 
-    def after(self, delay: int, callback: Callable[[], Any]) -> None:
-        """Schedule ``callback`` ``delay`` cycles from now."""
+    def post(self, delay: int, kind: str, *payload: Any) -> None:
+        """Schedule event ``kind`` ``delay`` cycles from now."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        self._queue.push(self._now + delay, callback)
+        self._queue.push(self._now + delay, kind, payload)
+
+    def at(self, time: int, callback: Any) -> None:
+        """Schedule a completion target at absolute cycle ``time``.
+
+        ``callback`` is either a plain callable (wrapped in the builtin
+        ``"__call__"`` kind — convenient, but *not* checkpointable) or a
+        ``(kind, *payload)`` event tuple, which is.
+        """
+        if callable(callback):
+            self.post_at(time, CALLABLE_KIND, callback)
+        else:
+            self.post_at(time, callback[0], *callback[1:])
+
+    def after(self, delay: int, callback: Any) -> None:
+        """Schedule a completion target ``delay`` cycles from now."""
+        if callable(callback):
+            self.post(delay, CALLABLE_KIND, callback)
+        else:
+            self.post(delay, callback[0], *callback[1:])
+
+    def dispatch(self, target: Any) -> None:
+        """Invoke a completion target immediately (same cycle).
+
+        Accepts the same shapes as :meth:`at` / :meth:`after`; used by
+        models that complete a request synchronously instead of through
+        the queue.
+        """
+        if callable(target):
+            target()
+        else:
+            self._handlers[target[0]](*target[1:])
+
+    # ------------------------------------------------------------------
+    # Monitors
+    # ------------------------------------------------------------------
 
     def set_monitor(
         self, callback: Optional[Callable[[], Any]], interval_events: int = 10_000
@@ -93,6 +161,10 @@ class Simulator:
             )
         self._monitors.append([callback, interval_events, interval_events])
 
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Drain the event queue.
 
@@ -104,7 +176,9 @@ class Simulator:
         """
         queue = self._queue
         fired = 0
+        base = self._events_processed
         monitors = self._monitors
+        handlers = self._handlers
         try:
             while queue:
                 if until is not None and queue.peek_time() > until:
@@ -112,26 +186,58 @@ class Simulator:
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                time, _, callback = queue.pop()
+                time, _, kind, payload = queue.pop()
                 self._now = time
-                callback()
+                handlers[kind](*payload)
                 fired += 1
                 if monitors:
                     for slot in monitors:
                         slot[2] -= 1
                         if slot[2] <= 0:
                             slot[2] = slot[1]
+                            # Monitors observe (and may checkpoint) the
+                            # event count, so sync it before the call —
+                            # the tight loop otherwise defers the store.
+                            self._events_processed = base + fired
                             slot[0]()
         finally:
-            self._events_processed += fired
+            self._events_processed = base + fired
         return self._now
 
     def step(self) -> bool:
         """Fire a single event.  Returns False when the queue is empty."""
         if not self._queue:
             return False
-        time, _, callback = self._queue.pop()
+        time, _, kind, payload = self._queue.pop()
         self._now = time
-        callback()
+        self._handlers[kind](*payload)
         self._events_processed += 1
         return True
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Clock, counters, pending events and monitor cadences.
+
+        Handlers and monitor callbacks are *not* captured — they are
+        code, re-registered when the system is rebuilt.  Monitor
+        countdowns are stored positionally, so a resume must re-install
+        its monitors in the same order before calling :meth:`restore`.
+        """
+        return {
+            "now": self._now,
+            "events_processed": self._events_processed,
+            "queue": self._queue.snapshot(),
+            "monitors": [(slot[1], slot[2]) for slot in self._monitors],
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._now = state["now"]
+        self._events_processed = state["events_processed"]
+        self._queue.restore(state["queue"])
+        counts = state.get("monitors", [])
+        for slot, (interval, countdown) in zip(self._monitors, counts):
+            slot[1] = interval
+            slot[2] = countdown

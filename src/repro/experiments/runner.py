@@ -25,6 +25,11 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.config import SystemConfig, baseline_config
 from repro.core.schedulers import WalkScheduler, available_schedulers
+from repro.engine.checkpoint import (
+    CheckpointError,
+    load_checkpoint_file,
+    save_checkpoint_file,
+)
 from repro.engine.simulator import Simulator
 from repro.gpu.gpu import GPU
 from repro.memory.subsystem import MemorySubsystem
@@ -211,6 +216,94 @@ def _validate_run_args(
         )
 
 
+# ----------------------------------------------------------------------
+# In-run checkpointing
+# ----------------------------------------------------------------------
+
+
+def snapshot_system(system: System) -> Dict[str, Any]:
+    """Gather every component's plain-data state into one dict.
+
+    The dict must be pickled in a *single* pass (see
+    :mod:`repro.engine.checkpoint`): walk-buffer entries, in-flight
+    requests and instruction records are shared by identity between the
+    component states and the event-queue payloads.
+    """
+    state: Dict[str, Any] = {
+        "simulator": system.simulator.snapshot(),
+        "page_table": system.page_table.snapshot(),
+        "memory": system.memory.snapshot(),
+        "iommu": system.iommu.snapshot(),
+        "gpu": system.gpu.snapshot(),
+    }
+    if system.iommu.injector is not None:
+        state["injector"] = system.iommu.injector.snapshot()
+    if system.tracer is not None:
+        state["tracer"] = system.tracer.snapshot()
+    return state
+
+
+def restore_system(system: System, state: Dict[str, Any]) -> None:
+    """Adopt a :func:`snapshot_system` dict into a freshly built system.
+
+    The system must have been built from the checkpoint's own config
+    (same component shapes); monitors must already be installed in the
+    same order as the checkpointing run, because the simulator restores
+    their countdowns positionally.
+    """
+    system.simulator.restore(state["simulator"])
+    system.page_table.restore(state["page_table"])
+    system.memory.restore(state["memory"])
+    system.iommu.restore(state["iommu"])
+    system.gpu.restore(state["gpu"])
+    if "injector" in state:
+        if system.iommu.injector is None:
+            raise CheckpointError(
+                "checkpoint carries fault-injector state but the rebuilt "
+                "system has no injector (config mismatch)"
+            )
+        system.iommu.injector.restore(state["injector"])
+    if "tracer" in state:
+        if system.tracer is None:
+            raise CheckpointError(
+                "checkpoint carries tracer state but the rebuilt system "
+                "has no tracer (pass the same trace configuration)"
+            )
+        system.tracer.restore(state["tracer"])
+
+
+def _checkpoint_state(
+    system: System,
+    watchdog: Optional[Watchdog],
+    registry: Optional[MetricsRegistry],
+) -> Dict[str, Any]:
+    state = {"system": snapshot_system(system)}
+    if watchdog is not None:
+        state["watchdog"] = watchdog.snapshot()
+    if registry is not None:
+        state["metrics"] = registry.snapshot()
+    return state
+
+
+def _write_run_checkpoint(
+    path: str,
+    system: System,
+    watchdog: Optional[Watchdog],
+    registry: Optional[MetricsRegistry],
+    meta: Dict[str, Any],
+) -> None:
+    save_checkpoint_file(
+        path,
+        system.config,
+        _checkpoint_state(system, watchdog, registry),
+        meta=dict(
+            meta,
+            cycle=system.simulator.now,
+            events_processed=system.simulator.events_processed,
+        ),
+    )
+
+
 def run_simulation(
     workload: Union[str, Workload],
     config: Optional[SystemConfig] = None,
@@ -227,6 +320,8 @@ def run_simulation(
     metrics: bool = False,
     metrics_interval_events: int = DEFAULT_SAMPLE_INTERVAL_EVENTS,
     profile: bool = False,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
 ) -> SimulationResult:
     """Simulate ``workload`` to completion and return its metrics.
 
@@ -257,12 +352,34 @@ def run_simulation(
       dumped into ``result.detail["metrics"]``.
     * ``profile=True`` — wall-clock phase profiler; its report lands in
       ``result.detail["profile"]``.
+
+    In-run checkpointing: ``checkpoint_every=N`` dumps the complete
+    simulation state to ``checkpoint_path`` every N fired events (and on
+    a watchdog trip), so :func:`resume_simulation` can continue the run
+    bit-identically after an interruption.
     """
     _validate_run_args(
         scheduler, num_wavefronts, scale, max_cycles, watchdog_cycles,
         trace=trace, trace_path=trace_path, trace_jsonl_path=trace_jsonl_path,
         metrics_interval_events=metrics_interval_events,
     )
+    if checkpoint_every is not None:
+        if checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        if not checkpoint_path:
+            raise ValueError("checkpoint_every needs a checkpoint_path")
+        if isinstance(scheduler, WalkScheduler):
+            raise ValueError(
+                "in-run checkpointing needs a registry scheduler name "
+                "(a resume rebuilds the scheduler from the config)"
+            )
+        if profile:
+            raise ValueError(
+                "in-run checkpointing and profile=True are mutually "
+                "exclusive (wall-clock phase totals cannot be resumed)"
+            )
     config = config or baseline_config()
     scheduler_instance: Optional[WalkScheduler] = None
     if isinstance(scheduler, WalkScheduler):
@@ -290,14 +407,79 @@ def run_simulation(
             install_standard_metrics(system, registry), metrics_interval_events
         )
 
+    meta: Dict[str, Any] = {
+        "workload": bench.abbrev,
+        "num_wavefronts": num_wavefronts,
+        "scale": scale,
+        "seed": seed,
+        "max_cycles": max_cycles,
+        "watchdog_cycles": watchdog_cycles,
+        "watchdog_interval_events": watchdog_interval_events,
+        "metrics": metrics,
+        "metrics_interval_events": metrics_interval_events,
+        "trace": trace,
+    }
+    if checkpoint_every is not None:
+        system.simulator.add_monitor(
+            lambda: _write_run_checkpoint(
+                checkpoint_path, system, watchdog, registry, meta
+            ),
+            checkpoint_every,
+        )
+
     traces = bench.build_trace(
         num_wavefronts=num_wavefronts,
         wavefront_size=config.gpu.wavefront_size,
     )
     system.gpu.dispatch(traces)
     wall_start = time.perf_counter()
-    system.simulator.run(until=max_cycles)
+    try:
+        system.simulator.run(until=max_cycles)
+    except WatchdogError:
+        _dump_crash_checkpoint(checkpoint_path, system, watchdog, registry, meta)
+        raise
     wall_seconds = time.perf_counter() - wall_start
+    return _finish_run(
+        system, bench.abbrev, watchdog, registry, wall_seconds, max_cycles,
+        trace=trace, trace_path=trace_path, trace_jsonl_path=trace_jsonl_path,
+        checkpoint_path=checkpoint_path, checkpoint_meta=meta,
+    )
+
+
+def _dump_crash_checkpoint(
+    checkpoint_path: Optional[str],
+    system: System,
+    watchdog: Optional[Watchdog],
+    registry: Optional[MetricsRegistry],
+    meta: Dict[str, Any],
+) -> None:
+    """Best-effort checkpoint next to a watchdog diagnosis.
+
+    Never masks the diagnosis: serialisation problems are swallowed —
+    the caller is already raising the real error.
+    """
+    if checkpoint_path is None:
+        return
+    try:
+        _write_run_checkpoint(checkpoint_path, system, watchdog, registry, meta)
+    except Exception:
+        pass
+
+
+def _finish_run(
+    system: System,
+    abbrev: str,
+    watchdog: Optional[Watchdog],
+    registry: Optional[MetricsRegistry],
+    wall_seconds: float,
+    max_cycles: int,
+    trace: Optional[TraceConfig] = None,
+    trace_path: Optional[str] = None,
+    trace_jsonl_path: Optional[str] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_meta: Optional[Dict[str, Any]] = None,
+) -> SimulationResult:
+    """Shared post-run path: completion checks, result assembly, exports."""
     if not system.gpu.finished:
         drained = system.simulator.pending_events == 0
         reason = (
@@ -307,9 +489,14 @@ def run_simulation(
             else f"still running after max_cycles={max_cycles:,d}"
         )
         if watchdog is not None:
-            raise WatchdogError(watchdog.diagnose(reason))
+            diagnosis = watchdog.diagnose(reason)
+            _dump_crash_checkpoint(
+                checkpoint_path, system, watchdog, registry,
+                checkpoint_meta or {},
+            )
+            raise WatchdogError(diagnosis)
         raise RuntimeError(
-            f"simulation of {bench.abbrev} did not finish: {reason} "
+            f"simulation of {abbrev} did not finish: {reason} "
             f"({system.simulator.pending_events} events pending; pass "
             f"watchdog_cycles= for a structured diagnosis)"
         )
@@ -317,7 +504,7 @@ def run_simulation(
         # Success path: one last conservation sweep so silent model bugs
         # cannot hide behind a run that happened to terminate.
         watchdog.final_check()
-    result = collect_result(system, bench)
+    result = collect_result(system, abbrev)
     events = system.simulator.events_processed
     result.detail["engine"] = {
         "events_processed": events,
@@ -346,8 +533,97 @@ def run_simulation(
     return result
 
 
-def collect_result(system: System, workload: Workload) -> SimulationResult:
-    """Assemble a :class:`SimulationResult` from a finished system."""
+def resume_simulation(
+    checkpoint_path: str,
+    max_cycles: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+    trace_path: Optional[str] = None,
+    trace_jsonl_path: Optional[str] = None,
+) -> SimulationResult:
+    """Continue an interrupted run from an in-run checkpoint.
+
+    Rebuilds the system from the checkpoint's own config, re-installs
+    the same monitors in the same order, restores every component's
+    state — including the pending event queue — and runs to completion.
+    The returned result is bit-identical (up to wall-clock fields) to
+    the result the uninterrupted run would have produced.
+
+    ``checkpoint_every`` re-arms periodic checkpointing on the resumed
+    run, overwriting ``checkpoint_path`` — the resumed run checkpoints
+    on the *same* event cadence as the original (the monitor's countdown
+    is part of the checkpoint), so chains of interruptions compose.
+    """
+    payload = load_checkpoint_file(checkpoint_path)
+    config: SystemConfig = payload["config"]
+    meta: Dict[str, Any] = payload["meta"]
+    state: Dict[str, Any] = payload["state"]
+
+    system = build_system(config, trace=meta.get("trace"))
+
+    watchdog: Optional[Watchdog] = None
+    if meta.get("watchdog_cycles") is not None:
+        watchdog = Watchdog(
+            system,
+            stall_cycles=meta["watchdog_cycles"],
+            check_interval_events=meta.get(
+                "watchdog_interval_events", DEFAULT_CHECK_INTERVAL_EVENTS
+            ),
+        )
+        watchdog.install()
+
+    registry: Optional[MetricsRegistry] = None
+    if meta.get("metrics"):
+        registry = MetricsRegistry()
+        system.simulator.add_monitor(
+            install_standard_metrics(system, registry),
+            meta.get("metrics_interval_events", DEFAULT_SAMPLE_INTERVAL_EVENTS),
+        )
+
+    if checkpoint_every is not None:
+        if checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        system.simulator.add_monitor(
+            lambda: _write_run_checkpoint(
+                checkpoint_path, system, watchdog, registry, meta
+            ),
+            checkpoint_every,
+        )
+
+    # Restore AFTER the monitors exist: the simulator re-applies their
+    # saved countdowns positionally.
+    restore_system(system, state["system"])
+    if watchdog is not None and "watchdog" in state:
+        watchdog.restore(state["watchdog"])
+    if registry is not None and "metrics" in state:
+        registry.restore(state["metrics"])
+
+    run_until = max_cycles if max_cycles is not None else meta["max_cycles"]
+    wall_start = time.perf_counter()
+    try:
+        system.simulator.run(until=run_until)
+    except WatchdogError:
+        _dump_crash_checkpoint(checkpoint_path, system, watchdog, registry, meta)
+        raise
+    wall_seconds = time.perf_counter() - wall_start
+    trace_cfg = meta.get("trace")
+    return _finish_run(
+        system, meta["workload"], watchdog, registry, wall_seconds, run_until,
+        trace=trace_cfg, trace_path=trace_path,
+        trace_jsonl_path=trace_jsonl_path,
+        checkpoint_path=checkpoint_path, checkpoint_meta=meta,
+    )
+
+
+def collect_result(
+    system: System, workload: Union[str, Workload]
+) -> SimulationResult:
+    """Assemble a :class:`SimulationResult` from a finished system.
+
+    ``workload`` is the executed workload or just its abbreviation (all
+    the result needs) — resumed runs only carry the latter.
+    """
     gpu = system.gpu
     iommu = system.iommu
     records = gpu.instruction_records
@@ -355,7 +631,7 @@ def collect_result(system: System, workload: Workload) -> SimulationResult:
     histogram = instruction_walk_histogram(records)
     assert gpu.completion_time is not None
     return SimulationResult(
-        workload=workload.abbrev,
+        workload=getattr(workload, "abbrev", workload),
         scheduler=iommu.scheduler.name,
         total_cycles=gpu.completion_time,
         instructions=len(records),
@@ -379,7 +655,17 @@ def collect_result(system: System, workload: Workload) -> SimulationResult:
 
 
 def _run_one_spec(spec: Mapping[str, Any]) -> SimulationResult:
-    """Top-level trampoline so run specs can cross a process boundary."""
+    """Top-level trampoline so run specs can cross a process boundary.
+
+    A spec carrying in-run checkpoint arguments resumes from its
+    checkpoint file when one exists (a previous attempt died mid-run);
+    otherwise it starts from the beginning.
+    """
+    path = spec.get("checkpoint_path")
+    if path and spec.get("checkpoint_every") and os.path.exists(path):
+        return resume_simulation(
+            path, checkpoint_every=spec["checkpoint_every"]
+        )
     return run_simulation(**spec)
 
 
@@ -477,6 +763,7 @@ def run_many_resilient(
     backoff_seconds: float = RETRY_BACKOFF_SECONDS,
     checkpoint: Optional[str] = None,
     telemetry: Optional[FleetTelemetry] = None,
+    inrun_checkpoint_every: Optional[int] = None,
 ) -> List[RunOutcome]:
     """Run every spec, absorbing crashes; one :class:`RunOutcome` each.
 
@@ -488,6 +775,11 @@ def run_many_resilient(
       extra attempts, with exponential backoff from ``backoff_seconds``.
     * ``checkpoint`` names a directory where successful results persist;
       a re-invocation with the same specs resumes from completed jobs.
+    * ``inrun_checkpoint_every`` (needs ``checkpoint``) makes each run
+      dump its full simulation state every N fired events into the
+      checkpoint directory; a retry after a timeout or crash then
+      *resumes from the middle* instead of starting the simulation over.
+      Results are bit-identical to an uninterrupted run.
     * ``telemetry`` is a :class:`~repro.obs.fleet.FleetTelemetry`
       collector: every spec start/finish/retry/timeout — plus worker
       heartbeats on the process path — is reported as it happens.
@@ -507,6 +799,28 @@ def run_many_resilient(
     specs = [dict(spec) for spec in specs]
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     store = CheckpointStore(checkpoint) if checkpoint else None
+
+    inrun_paths: List[Optional[str]] = [None] * len(specs)
+    if inrun_checkpoint_every is not None:
+        if inrun_checkpoint_every <= 0:
+            raise ValueError(
+                f"inrun_checkpoint_every must be positive, "
+                f"got {inrun_checkpoint_every}"
+            )
+        if store is None:
+            raise ValueError(
+                "inrun_checkpoint_every needs checkpoint= (a directory to "
+                "keep the in-run state files in)"
+            )
+        inrun_paths = [str(store.inrun_path(spec)) for spec in specs]
+    # The executed spec may carry extra in-run checkpoint arguments; the
+    # *original* spec stays the identity for describe/store keying.
+    exec_specs = [
+        dict(spec, checkpoint_every=inrun_checkpoint_every, checkpoint_path=path)
+        if path is not None
+        else spec
+        for spec, path in zip(specs, inrun_paths)
+    ]
 
     todo: List[int] = []
     for index, spec in enumerate(specs):
@@ -541,13 +855,13 @@ def run_many_resilient(
         use_processes = (jobs is not None and jobs > 1) or timeout is not None
         if use_processes:
             _run_in_processes(
-                specs, todo, outcomes, max_workers, timeout, retries,
-                backoff_seconds, store, telemetry,
+                specs, exec_specs, inrun_paths, todo, outcomes, max_workers,
+                timeout, retries, backoff_seconds, store, telemetry,
             )
         else:
             _run_in_process(
-                specs, todo, outcomes, retries, backoff_seconds, store,
-                telemetry,
+                specs, exec_specs, inrun_paths, todo, outcomes, retries,
+                backoff_seconds, store, telemetry,
             )
 
     if telemetry is not None:
@@ -557,7 +871,8 @@ def run_many_resilient(
 
 
 def _finish_ok(
-    outcomes, store, specs, index, result, attempt, started, telemetry=None
+    outcomes, store, specs, index, result, attempt, started, telemetry=None,
+    inrun_path=None,
 ) -> None:
     outcomes[index] = RunOutcome(
         index=index,
@@ -569,12 +884,19 @@ def _finish_ok(
     )
     if store is not None:
         store.store(specs[index], result)
+    if inrun_path is not None:
+        # The run finished; its mid-run state file is no longer needed.
+        try:
+            os.unlink(inrun_path)
+        except OSError:
+            pass
     if telemetry is not None:
         telemetry.spec_finished(outcomes[index])
 
 
 def _run_in_process(
-    specs, todo, outcomes, retries, backoff_seconds, store, telemetry=None
+    specs, exec_specs, inrun_paths, todo, outcomes, retries, backoff_seconds,
+    store, telemetry=None,
 ) -> None:
     """Serial fallback: same retry semantics, no process isolation."""
     for index in todo:
@@ -585,7 +907,7 @@ def _run_in_process(
                     index, describe_spec(specs[index]), attempt
                 )
             try:
-                result = _run_one_spec(specs[index])
+                result = _run_one_spec(exec_specs[index])
             except Exception as exc:
                 if attempt <= retries:
                     delay = _backoff_delay(attempt, backoff_seconds)
@@ -613,14 +935,14 @@ def _run_in_process(
             else:
                 _finish_ok(
                     outcomes, store, specs, index, result, attempt, started,
-                    telemetry,
+                    telemetry, inrun_path=inrun_paths[index],
                 )
                 break
 
 
 def _run_in_processes(
-    specs, todo, outcomes, max_workers, timeout, retries, backoff_seconds,
-    store, telemetry=None,
+    specs, exec_specs, inrun_paths, todo, outcomes, max_workers, timeout,
+    retries, backoff_seconds, store, telemetry=None,
 ) -> None:
     """Process-per-job executor: crash isolation, timeouts, retries."""
     import multiprocessing as mp
@@ -640,7 +962,7 @@ def _run_in_processes(
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(
             target=_spec_worker,
-            args=(child_conn, specs[index], heartbeat_seconds),
+            args=(child_conn, exec_specs[index], heartbeat_seconds),
             daemon=True,
         )
         process.start()
@@ -745,6 +1067,7 @@ def _run_in_processes(
                     _finish_ok(
                         outcomes, store, specs, job.index, message[1],
                         job.attempt, first_started[job.index], telemetry,
+                        inrun_path=inrun_paths[job.index],
                     )
                 else:
                     _, error_type, error, tb = message
@@ -785,6 +1108,7 @@ def run_many(
     checkpoint: Optional[str] = None,
     return_outcomes: bool = False,
     telemetry: Optional[FleetTelemetry] = None,
+    inrun_checkpoint_every: Optional[int] = None,
 ) -> Union[List[SimulationResult], List[RunOutcome]]:
     """Run many simulations, optionally across worker processes.
 
@@ -807,6 +1131,7 @@ def run_many(
     outcomes = run_many_resilient(
         specs, jobs=jobs, timeout=timeout, retries=retries,
         checkpoint=checkpoint, telemetry=telemetry,
+        inrun_checkpoint_every=inrun_checkpoint_every,
     )
     if return_outcomes:
         return outcomes

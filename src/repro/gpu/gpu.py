@@ -4,6 +4,11 @@ Wavefront traces are dispatched to CU slots round-robin; when a resident
 wavefront retires, the next queued trace takes its slot (modelling the
 hardware workgroup dispatcher keeping CUs occupied).  The simulation ends
 when every trace has executed to completion.
+
+The GPU owns the ``gpu.*`` / ``wf.*`` event kinds: wavefront events carry
+a wavefront id and are routed through the live-wavefront registry, so
+event payloads stay plain data and the whole event queue can be pickled
+into a checkpoint.
 """
 
 from __future__ import annotations
@@ -12,9 +17,10 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Set
 
 from repro.config import SystemConfig
+from repro.core.request import TranslationRequest
 from repro.engine.simulator import Simulator
 from repro.gpu.cu import ComputeUnit
-from repro.gpu.wavefront import InstructionRecord, Wavefront
+from repro.gpu.wavefront import InstructionRecord, Wavefront, _InflightInstruction
 from repro.memory.subsystem import MemorySubsystem
 from repro.mmu.geometry import geometry_by_name
 from repro.mmu.iommu import IOMMU
@@ -69,6 +75,9 @@ class GPU:
         self._app_remaining: Dict[int, int] = {}
         #: Cycle at which each application's last wavefront retired.
         self.app_completion_time: Dict[int, int] = {}
+        #: Live (launched, unretired) wavefronts, routing target for
+        #: ``wf.*`` events.
+        self._wavefronts: Dict[int, Wavefront] = {}
 
         # Fig 12: distinct wavefronts touching the L2 TLB per epoch.
         self._epoch_accesses = 0
@@ -82,6 +91,64 @@ class GPU:
         self._l2_tlb_next_free = 0
 
         self.completion_time: Optional[int] = None
+
+        simulator.register("gpu.start", self._start_reserved)
+        simulator.register("wf.issue", self._wf_issue)
+        simulator.register("wf.xlate", self._wf_translate)
+        simulator.register("wf.l2", self._wf_l2_lookup)
+        simulator.register("wf.data", self._wf_data)
+        simulator.register("wf.install", self._wf_install)
+        simulator.register("wf.line", self._wf_line)
+        simulator.register("iommu.xlate", self._iommu_translate)
+        # Translations without a per-request callback come back here.
+        iommu.reply_to = self._translation_done
+
+    # ------------------------------------------------------------------
+    # Event routing (wf.* kinds → live wavefront objects)
+    # ------------------------------------------------------------------
+
+    def _wf_issue(self, wavefront_id: int) -> None:
+        self._wavefronts[wavefront_id]._issue_now()
+
+    def _wf_translate(
+        self, wavefront_id: int, vpn: int, lines, inflight: _InflightInstruction
+    ) -> None:
+        self._wavefronts[wavefront_id]._translate_page(vpn, lines, inflight)
+
+    def _wf_l2_lookup(
+        self, wavefront_id: int, vpn: int, lines, inflight: _InflightInstruction
+    ) -> None:
+        self._wavefronts[wavefront_id]._l2_tlb_lookup(vpn, lines, inflight)
+
+    def _wf_data(
+        self, wavefront_id: int, pfn: int, lines, inflight: _InflightInstruction
+    ) -> None:
+        self._wavefronts[wavefront_id]._data_phase(pfn, lines, inflight)
+
+    def _wf_install(
+        self,
+        wavefront_id: int,
+        vpn: int,
+        pfn: int,
+        lines,
+        inflight: _InflightInstruction,
+    ) -> None:
+        self._wavefronts[wavefront_id]._install_and_access(
+            vpn, pfn, lines, inflight
+        )
+
+    def _wf_line(self, wavefront_id: int, inflight: _InflightInstruction) -> None:
+        self._wavefronts[wavefront_id]._line_complete(inflight)
+
+    def _iommu_translate(self, request: TranslationRequest) -> None:
+        self.iommu.translate(request)
+
+    def _translation_done(self, request: TranslationRequest, pfn: int) -> None:
+        """IOMMU reply sink for requests carrying plain-data context."""
+        lines, inflight = request.context
+        self._wavefronts[request.wavefront_id]._iommu_reply(
+            request, pfn, lines, inflight
+        )
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -119,12 +186,7 @@ class GPU:
                 delay = launch_index * stagger
                 launch_index += 1
                 self._running_wavefronts += 1  # reserved before start
-                self.sim.after(
-                    delay,
-                    lambda trace=trace, app_id=app_id, cu_id=cu.cu_id: (
-                        self._start_reserved(trace, cu_id, app_id)
-                    ),
-                )
+                self.sim.post(delay, "gpu.start", trace, cu.cu_id, app_id)
 
     def _start_reserved(self, trace, cu_id: int, app_id: int) -> None:
         """Launch a wavefront whose running-count slot was pre-reserved."""
@@ -137,6 +199,7 @@ class GPU:
         )
         self._wavefront_counter += 1
         self._wavefront_cu[wavefront.wavefront_id] = cu_id
+        self._wavefronts[wavefront.wavefront_id] = wavefront
         self._running_wavefronts += 1
         self.cus[cu_id].wavefront_arrived(active=True)
         wavefront.start()
@@ -146,6 +209,7 @@ class GPU:
         cu_id = wavefront.cu_id
         self.cus[cu_id].wavefront_departed(was_active=not wavefront.blocked)
         self._running_wavefronts -= 1
+        self._wavefronts.pop(wavefront.wavefront_id, None)
         remaining = self._app_remaining.get(wavefront.app_id, 0) - 1
         self._app_remaining[wavefront.app_id] = remaining
         if remaining == 0:
@@ -213,6 +277,68 @@ class GPU:
                 "a page table to the GPU"
             )
         return self.page_table.translate(vpn)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Full compute-side state.
+
+        Instruction records and in-flight contexts are pickled as the
+        objects themselves (they are plain slotted data); the combined
+        checkpoint pickle keeps their identity shared with the event
+        payloads that reference them.
+        """
+        return {
+            "instruction_records": list(self.instruction_records),
+            "instructions_retired": self.instructions_retired,
+            "instruction_counter": self._instruction_counter,
+            "wavefront_counter": self._wavefront_counter,
+            "pending_traces": list(self._pending_traces),
+            "running_wavefronts": self._running_wavefronts,
+            "wavefront_cu": dict(self._wavefront_cu),
+            "app_remaining": dict(self._app_remaining),
+            "app_completion_time": dict(self.app_completion_time),
+            "epoch_accesses": self._epoch_accesses,
+            "epoch_wavefronts": list(self._epoch_wavefronts),
+            "wavefronts_per_epoch": list(self.wavefronts_per_epoch),
+            "l2_tlb_next_free": self._l2_tlb_next_free,
+            "completion_time": self.completion_time,
+            "l2_tlb": self.l2_tlb.snapshot(),
+            "cus": [cu.snapshot() for cu in self.cus],
+            "wavefronts": [wf.snapshot() for wf in self._wavefronts.values()],
+        }
+
+    def restore(self, state: dict) -> None:
+        self.instruction_records = list(state["instruction_records"])
+        self.instructions_retired = state["instructions_retired"]
+        self._instruction_counter = state["instruction_counter"]
+        self._wavefront_counter = state["wavefront_counter"]
+        self._pending_traces = deque(state["pending_traces"])
+        self._running_wavefronts = state["running_wavefronts"]
+        self._wavefront_cu = dict(state["wavefront_cu"])
+        self._app_remaining = dict(state["app_remaining"])
+        self.app_completion_time = dict(state["app_completion_time"])
+        self._epoch_accesses = state["epoch_accesses"]
+        self._epoch_wavefronts = set(state["epoch_wavefronts"])
+        self.wavefronts_per_epoch = list(state["wavefronts_per_epoch"])
+        self._l2_tlb_next_free = state["l2_tlb_next_free"]
+        self.completion_time = state["completion_time"]
+        self.l2_tlb.restore(state["l2_tlb"])
+        for cu, dump in zip(self.cus, state["cus"]):
+            cu.restore(dump)
+        self._wavefronts = {}
+        for dump in state["wavefronts"]:
+            wavefront = Wavefront(
+                dump["wavefront_id"],
+                dump["cu_id"],
+                dump["trace"],
+                self,
+                app_id=dump["app_id"],
+            )
+            wavefront.restore(dump)
+            self._wavefronts[wavefront.wavefront_id] = wavefront
 
     # ------------------------------------------------------------------
     # Aggregate statistics

@@ -12,11 +12,16 @@ progress (paper §III-B).
 A wavefront is *blocked* (for CU stall accounting) while it cannot issue:
 either its in-flight window is full or it has drained its trace but still
 has instructions outstanding.
+
+All deferred work is posted as tagged events (``wf.*`` kinds, routed by
+the GPU's wavefront registry) carrying only plain data and the in-flight
+instruction context — never closures — so a mid-run checkpoint can pickle
+the event queue wholesale.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.request import TranslationRequest
 from repro.gpu.coalescer import coalesce
@@ -65,7 +70,12 @@ class InstructionRecord:
 
 
 class _InflightInstruction:
-    """Execution context of one issued-but-unretired memory instruction."""
+    """Execution context of one issued-but-unretired memory instruction.
+
+    Instances travel inside event payloads; pickling the combined
+    checkpoint state in one pass preserves their shared identity across
+    the several events that reference the same in-flight instruction.
+    """
 
     __slots__ = ("record", "outstanding_lines")
 
@@ -118,7 +128,7 @@ class Wavefront:
         if self._issue_pending:
             return
         self._issue_pending = True
-        self._gpu.sim.after(delay, self._issue_now)
+        self._gpu.sim.post(delay, "wf.issue", self.wavefront_id)
 
     def _issue_now(self) -> None:
         self._issue_pending = False
@@ -165,7 +175,7 @@ class Wavefront:
         # units (identical under 4 KB pages; 512 pages merge per unit
         # under 2 MB large pages).
         unit_shift = gpu.geometry.page_shift - PAGE_SHIFT
-        groups = {}
+        groups: Dict[int, List[int]] = {}
         for page_vpn, lines in access.lines_by_page.items():
             groups.setdefault(page_vpn >> unit_shift, []).extend(lines)
         # The coalescer/L1-TLB port handles a few unique pages per cycle,
@@ -173,11 +183,13 @@ class Wavefront:
         # over several cycles rather than appearing as one atomic burst.
         per_cycle = gpu.config.gpu.coalescer_pages_per_cycle
         for index, (vpn, lines) in enumerate(groups.items()):
-            gpu.sim.after(
+            gpu.sim.post(
                 index // per_cycle,
-                lambda vpn=vpn, lines=lines: self._translate_page(
-                    vpn, lines, inflight
-                ),
+                "wf.xlate",
+                self.wavefront_id,
+                vpn,
+                lines,
+                inflight,
             )
 
     # ------------------------------------------------------------------
@@ -196,17 +208,25 @@ class Wavefront:
         cu = gpu.cus[self.cu_id]
         pfn = cu.l1_tlb.lookup(vpn)
         if pfn is not None:
-            gpu.sim.after(
+            gpu.sim.post(
                 gpu.config.gpu_l1_tlb.hit_latency,
-                lambda: self._data_phase(pfn, lines, inflight),
+                "wf.data",
+                self.wavefront_id,
+                pfn,
+                lines,
+                inflight,
             )
             return
         # Miss: queue on the shared L2 TLB's single lookup port.  The
         # port wait multiplexes concurrent wavefronts' request streams.
         port_wait = gpu.l2_tlb_port_delay()
-        gpu.sim.after(
+        gpu.sim.post(
             port_wait + gpu.config.gpu_l2_tlb.hit_latency,
-            lambda: self._l2_tlb_lookup(vpn, lines, inflight),
+            "wf.l2",
+            self.wavefront_id,
+            vpn,
+            lines,
+            inflight,
         )
 
     def _l2_tlb_lookup(
@@ -229,12 +249,14 @@ class Wavefront:
             wavefront_id=self.wavefront_id,
             cu_id=self.cu_id,
             issue_time=gpu.sim.now,
-            on_complete=lambda req, pfn: self._iommu_reply(req, pfn, lines, inflight),
             app_id=self.app_id,
         )
-        gpu.sim.after(
-            gpu.config.iommu.request_latency,
-            lambda: gpu.iommu.translate(request),
+        # No reply closure: the IOMMU routes the reply through its
+        # ``reply_to`` sink (the GPU), which recovers the continuation
+        # from this plain-data context.
+        request.context = (lines, inflight)
+        gpu.sim.post(
+            gpu.config.iommu.request_latency, "iommu.xlate", request
         )
 
     def _iommu_reply(
@@ -253,9 +275,14 @@ class Wavefront:
         tracer = gpu.tracer
         if tracer is not None and tracer.cat_job:
             tracer.job_walk_complete(record.instruction_id, request.complete_time)
-        gpu.sim.after(
+        gpu.sim.post(
             response_latency,
-            lambda: self._install_and_access(request.vpn, pfn, lines, inflight),
+            "wf.install",
+            self.wavefront_id,
+            request.vpn,
+            pfn,
+            lines,
+            inflight,
         )
 
     def _install_and_access(
@@ -279,7 +306,7 @@ class Wavefront:
         for line_va in lines:
             physical = frame_base + geometry.offset(line_va)
             gpu.memory.data_access(
-                self.cu_id, physical, lambda: self._line_complete(inflight)
+                self.cu_id, physical, ("wf.line", self.wavefront_id, inflight)
             )
 
     def _line_complete(self, inflight: _InflightInstruction) -> None:
@@ -317,3 +344,30 @@ class Wavefront:
         self.done = True
         self._set_blocked(False)
         self._gpu.wavefront_finished(self)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data execution state; the GPU rebuilds the object."""
+        return {
+            "wavefront_id": self.wavefront_id,
+            "cu_id": self.cu_id,
+            "app_id": self.app_id,
+            "trace": self._trace,
+            "pc": self._pc,
+            "outstanding": self._outstanding,
+            "issue_pending": self._issue_pending,
+            "done": self.done,
+            "blocked": self.blocked,
+        }
+
+    def restore(self, state: dict) -> None:
+        self._pc = state["pc"]
+        self._outstanding = state["outstanding"]
+        self._issue_pending = state["issue_pending"]
+        self.done = state["done"]
+        # Set directly, not via _set_blocked: the CU's active/resident
+        # counters are restored separately from its own snapshot.
+        self.blocked = state["blocked"]

@@ -14,13 +14,17 @@ policies:
     bank is free, prefer row-buffer *hits* (oldest first), falling back
     to the oldest request.
 
-The controller exposes a callback API (``read(address, on_complete)``),
-so it can stand in wherever the reservation-based model is used.
+The controller exposes a completion-target API (``read(address, done)``
+where ``done`` is a ``(kind, *payload)`` event tuple or a legacy
+callable), so it can stand in wherever the reservation-based model is
+used.  Bank service and release advance through registered event kinds
+with the in-service request held as controller state, so queued and
+in-flight reads serialise into checkpoints.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.config import LINE_SIZE, DRAMConfig
 from repro.engine.simulator import Simulator
@@ -81,11 +85,16 @@ class QueuedMemoryController:
         self.tracer = None
         self._banks: List[_Bank] = [_Bank() for _ in range(config.total_banks)]
         self._queues: Dict[int, List[_Request]] = {}
+        #: The request each busy bank is serving (by bank index) until
+        #: its data returns — checkpointable in-flight state.
+        self._in_service: Dict[int, _Request] = {}
         self._arrival_seq = 0
         self.reads = 0
         self.row_hits = 0
         self.row_conflicts = 0
         self.peak_queue_depth = 0
+        simulator.register("dram.complete", self._complete)
+        simulator.register("dram.release", self._release)
 
     def _map(self, address: int) -> Tuple[int, int]:
         line = address // LINE_SIZE
@@ -101,8 +110,9 @@ class QueuedMemoryController:
     def queued_requests(self) -> int:
         return sum(len(q) for q in self._queues.values())
 
-    def read(self, address: int, on_complete: Callable[[], None]) -> None:
-        """Enqueue one read; ``on_complete`` fires when data returns."""
+    def read(self, address: int, on_complete: Any) -> None:
+        """Enqueue one read; the ``on_complete`` target fires when data
+        returns (an event tuple, or a callable for legacy callers)."""
         bank, row = self._map(address)
         request = _Request(
             address, bank, row, self._arrival_seq, self._sim.now, on_complete
@@ -148,21 +158,21 @@ class QueuedMemoryController:
                 self.padded_accesses += 1
         bank.busy = True
         self.reads += 1
-        self._sim.after(latency, lambda: self._complete(bank_index, request))
+        self._in_service[bank_index] = request
+        self._sim.post(latency, "dram.complete", bank_index)
 
-    def _complete(self, bank_index: int, request: _Request) -> None:
+    def _complete(self, bank_index: int) -> None:
+        request = self._in_service.pop(bank_index)
         tracer = self.tracer
         if tracer is not None and tracer.cat_memory:
             tracer.dram_read_span(
                 request.arrival_time, self._sim.now, request.bank,
                 request.address, request.row_hit,
             )
-        request.on_complete()
+        self._sim.dispatch(request.on_complete)
         # The bank stays occupied for the data burst before accepting
         # its next request.
-        self._sim.after(
-            self.config.t_burst, lambda: self._release(bank_index)
-        )
+        self._sim.post(self.config.t_burst, "dram.release", bank_index)
 
     def _release(self, bank_index: int) -> None:
         self._banks[bank_index].busy = False
@@ -181,3 +191,43 @@ class QueuedMemoryController:
             "peak_queue_depth": self.peak_queue_depth,
             "policy": self.policy,
         }
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Bank state, queued and in-service requests, counters.
+
+        ``_Request`` objects are serialised as-is (slotted plain data;
+        their completion targets must be event tuples, which all
+        engine-integrated callers use).
+        """
+        return {
+            "banks": [(bank.busy, bank.open_row) for bank in self._banks],
+            "queues": {
+                bank: list(queue) for bank, queue in self._queues.items()
+            },
+            "in_service": dict(self._in_service),
+            "arrival_seq": self._arrival_seq,
+            "reads": self.reads,
+            "row_hits": self.row_hits,
+            "row_conflicts": self.row_conflicts,
+            "peak_queue_depth": self.peak_queue_depth,
+            "padded_accesses": self.padded_accesses,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        for bank, (busy, open_row) in zip(self._banks, state["banks"]):
+            bank.busy = busy
+            bank.open_row = open_row
+        self._queues = {
+            bank: list(queue) for bank, queue in state["queues"].items()
+        }
+        self._in_service = dict(state["in_service"])
+        self._arrival_seq = state["arrival_seq"]
+        self.reads = state["reads"]
+        self.row_hits = state["row_hits"]
+        self.row_conflicts = state["row_conflicts"]
+        self.peak_queue_depth = state["peak_queue_depth"]
+        self.padded_accesses = state["padded_accesses"]

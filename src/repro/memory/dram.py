@@ -107,3 +107,27 @@ class DRAM:
             "row_hit_rate": self.row_hit_rate,
             "average_latency": self.average_latency,
         }
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "banks": [(bank.busy_until, bank.open_row) for bank in self._banks],
+            "accesses": self.accesses,
+            "row_hits": self.row_hits,
+            "row_conflicts": self.row_conflicts,
+            "total_latency": self.total_latency,
+            "total_queue_delay": self.total_queue_delay,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        for bank, (busy_until, open_row) in zip(self._banks, state["banks"]):
+            bank.busy_until = busy_until
+            bank.open_row = open_row
+        self.accesses = state["accesses"]
+        self.row_hits = state["row_hits"]
+        self.row_conflicts = state["row_conflicts"]
+        self.total_latency = state["total_latency"]
+        self.total_queue_delay = state["total_queue_delay"]

@@ -8,7 +8,7 @@ invoked with *physical* addresses, downstream of the MMU.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.config import LINE_SIZE, SystemConfig
 from repro.engine.simulator import Simulator
@@ -68,11 +68,17 @@ class MemorySubsystem:
             self.controller.tracer = tracer
         self.data_accesses = 0
         self.page_table_reads = 0
+        simulator.register("mem.ctrl_read", self._controller_read)
+
+    def _controller_read(self, physical_address: int, on_complete: Any) -> None:
+        self.controller.read(physical_address, on_complete)
 
     def data_access(
-        self, cu_id: int, physical_address: int, on_complete: Callable[[], None]
+        self, cu_id: int, physical_address: int, on_complete: Any
     ) -> None:
-        """Issue one coalesced data access; fires ``on_complete`` when done."""
+        """Issue one coalesced data access; the ``on_complete`` target
+        (an event tuple, or a callable for legacy callers) fires when
+        the data returns."""
         if self._profiler is not None:
             start = perf_counter()
             try:
@@ -83,7 +89,7 @@ class MemorySubsystem:
         self._data_access(cu_id, physical_address, on_complete)
 
     def _data_access(
-        self, cu_id: int, physical_address: int, on_complete: Callable[[], None]
+        self, cu_id: int, physical_address: int, on_complete: Any
     ) -> None:
         self.data_accesses += 1
         line = physical_address // LINE_SIZE
@@ -106,13 +112,12 @@ class MemorySubsystem:
             self._sim.at(done, on_complete)
         else:
             assert self.controller is not None
-            self._sim.after(
-                l2_latency,
-                lambda: self.controller.read(physical_address, on_complete),
+            self._sim.post(
+                l2_latency, "mem.ctrl_read", physical_address, on_complete
             )
 
     def page_table_read(
-        self, physical_address: int, on_complete: Callable[[], None]
+        self, physical_address: int, on_complete: Any
     ) -> None:
         """One sequential page-table read; ``on_complete`` fires when done.
 
@@ -129,7 +134,7 @@ class MemorySubsystem:
         self._page_table_read(physical_address, on_complete)
 
     def _page_table_read(
-        self, physical_address: int, on_complete: Callable[[], None]
+        self, physical_address: int, on_complete: Any
     ) -> None:
         self.page_table_reads += 1
         if self.dram is not None:
@@ -140,6 +145,34 @@ class MemorySubsystem:
         else:
             assert self.controller is not None
             self.controller.read(physical_address, on_complete)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        state: Dict[str, object] = {
+            "data_accesses": self.data_accesses,
+            "page_table_reads": self.page_table_reads,
+            "l1_caches": [cache.snapshot() for cache in self.l1_caches],
+            "l2_cache": self.l2_cache.snapshot(),
+        }
+        if self.dram is not None:
+            state["dram"] = self.dram.snapshot()
+        if self.controller is not None:
+            state["controller"] = self.controller.snapshot()
+        return state
+
+    def restore(self, state: Dict[str, object]) -> None:
+        self.data_accesses = state["data_accesses"]
+        self.page_table_reads = state["page_table_reads"]
+        for cache, dump in zip(self.l1_caches, state["l1_caches"]):
+            cache.restore(dump)
+        self.l2_cache.restore(state["l2_cache"])
+        if self.dram is not None:
+            self.dram.restore(state["dram"])
+        if self.controller is not None:
+            self.controller.restore(state["controller"])
 
     def stats(self) -> Dict[str, object]:
         dram_stats = (

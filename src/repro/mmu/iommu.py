@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import deque
 from time import perf_counter
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.config import IOMMUConfig
 from repro.core.buffer import PendingWalkBuffer
@@ -120,6 +120,16 @@ class IOMMU:
         #: the interleaving metric (paper Fig 5).
         self.dispatches_by_instruction: Dict[int, List[int]] = {}
 
+        #: Reply sink used when a request carries no ``on_complete``
+        #: closure: called as ``reply_to(request, pfn)``.  The GPU sets
+        #: this once at construction — being re-wired with the system,
+        #: it survives checkpoint/restore where a stored closure cannot.
+        self.reply_to: Optional[Callable[[TranslationRequest, int], None]] = None
+
+        simulator.register("iommu.reply", self._reply)
+        simulator.register("iommu.finish_scan", self._finish_scan)
+        simulator.register("iommu.kick", self.resume_walkers)
+
     # ------------------------------------------------------------------
     # Request entry point
     # ------------------------------------------------------------------
@@ -136,9 +146,8 @@ class IOMMU:
                 self.l1_tlb.insert(request.vpn, pfn)
         if pfn is not None:
             self.tlb_hits += 1
-            self._sim.after(
-                self.config.tlb_hit_latency,
-                lambda: self._reply(request, pfn, walk_accesses=0),
+            self._sim.post(
+                self.config.tlb_hit_latency, "iommu.reply", request, pfn, 0
             )
             return
         self._handle_tlb_miss(request)
@@ -162,8 +171,10 @@ class IOMMU:
             if self.scheduler.needs_scores:
                 # Keep the instruction's aggregate score complete even
                 # for walks that bypass the buffer.
+                accesses, pinned = self.pwc.score(request.vpn)
+                entry.pinned_levels = pinned
                 self.buffer.account_direct_dispatch(
-                    entry.instruction_id, self.pwc.estimate_accesses(request.vpn)
+                    entry.instruction_id, accesses
                 )
             self._dispatch(idle, entry)
             return
@@ -196,11 +207,13 @@ class IOMMU:
 
     def _buffer_request(self, request: TranslationRequest) -> None:
         estimate = 0
+        pinned: tuple = ()
         if self.scheduler.needs_scores:
-            estimate = self.pwc.estimate_accesses(request.vpn)
+            estimate, pinned = self.pwc.score(request.vpn)
         entry = self.buffer.add(
             request, arrival_time=self._sim.now, estimated_accesses=estimate
         )
+        entry.pinned_levels = pinned
         self.scheduler.on_arrival(entry, self.buffer)
         tracer = self.tracer
         if tracer is not None:
@@ -312,7 +325,7 @@ class IOMMU:
                 if self._scan_in_progress:
                     return
                 self._scan_in_progress = True
-                self._sim.after(scan_latency, self._finish_scan)
+                self._sim.post(scan_latency, "iommu.finish_scan")
                 return
             entry = (
                 self.scheduler.select(self.buffer)
@@ -449,6 +462,76 @@ class IOMMU:
         request.walk_accesses = walk_accesses
         if request.on_complete is not None:
             request.on_complete(request, pfn)
+        elif self.reply_to is not None:
+            self.reply_to(request, pfn)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Every piece of translation-pipeline state, as plain data.
+
+        Shared objects (entries referenced by the buffer, the walkers
+        and queued events alike) keep their identity because the whole
+        checkpoint is serialised in one pickle.
+        """
+        return {
+            "l1_tlb": self.l1_tlb.snapshot(),
+            "l2_tlb": self.l2_tlb.snapshot(),
+            "pwc": self.pwc.snapshot(),
+            "buffer": self.buffer.snapshot(),
+            "scheduler": self.scheduler.snapshot(),
+            "walkers": [walker.snapshot() for walker in self.walkers],
+            "overflow": list(self._overflow),
+            "scan_in_progress": self._scan_in_progress,
+            "walking": {
+                vpn: list(entries) for vpn, entries in self._walking.items()
+            },
+            "dispatch_seq": self._dispatch_seq,
+            "requests": self.requests,
+            "tlb_hits": self.tlb_hits,
+            "walks_dispatched": self.walks_dispatched,
+            "overflow_peak": self.overflow_peak,
+            "coalesced_inflight": self.coalesced_inflight,
+            "prefetch_walks": self.prefetch_walks,
+            "total_queue_wait": self.total_queue_wait,
+            "total_service_time": self.total_service_time,
+            "dispatches_by_instruction": {
+                iid: list(seqs)
+                for iid, seqs in self.dispatches_by_instruction.items()
+            },
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self.l1_tlb.restore(state["l1_tlb"])
+        self.l2_tlb.restore(state["l2_tlb"])
+        self.pwc.restore(state["pwc"])
+        self.buffer.restore(state["buffer"])
+        self.scheduler.restore(state["scheduler"])
+        for walker, dump in zip(self.walkers, state["walkers"]):
+            walker.restore(dump)
+            # The completion sink is code, not state: re-wire it so an
+            # in-flight walk delivers into this (rebuilt) IOMMU.
+            walker._on_complete = self._walk_complete
+        self._overflow = deque(state["overflow"])
+        self._scan_in_progress = state["scan_in_progress"]
+        self._walking = {
+            vpn: list(entries) for vpn, entries in state["walking"].items()
+        }
+        self._dispatch_seq = state["dispatch_seq"]
+        self.requests = state["requests"]
+        self.tlb_hits = state["tlb_hits"]
+        self.walks_dispatched = state["walks_dispatched"]
+        self.overflow_peak = state["overflow_peak"]
+        self.coalesced_inflight = state["coalesced_inflight"]
+        self.prefetch_walks = state["prefetch_walks"]
+        self.total_queue_wait = state["total_queue_wait"]
+        self.total_service_time = state["total_service_time"]
+        self.dispatches_by_instruction = {
+            iid: list(seqs)
+            for iid, seqs in state["dispatches_by_instruction"].items()
+        }
 
     # ------------------------------------------------------------------
     # Statistics

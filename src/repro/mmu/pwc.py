@@ -62,14 +62,6 @@ class _LevelCache:
     def _set_for(self, tag: int) -> "OrderedDict[int, _Entry]":
         return self._sets[tag % self._num_sets]
 
-    def probe(self, tag: int) -> bool:
-        entries = self._set_for(tag)
-        if tag in entries:
-            self.hits += 1
-            return True
-        self.misses += 1
-        return False
-
     def touch(self, tag: int) -> None:
         entries = self._set_for(tag)
         if tag in entries:
@@ -90,6 +82,29 @@ class _LevelCache:
         if len(entries) >= self._ways:
             self._evict(entries)
         entries[tag] = _Entry()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Set contents (tag -> counter, in LRU order) plus counters."""
+        return {
+            "sets": [
+                [(tag, entry.counter) for tag, entry in entries.items()]
+                for entries in self._sets
+            ],
+            "hits": self.hits,
+            "misses": self.misses,
+            "guarded_evictions_avoided": self.guarded_evictions_avoided,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        for entries, dump in zip(self._sets, state["sets"]):
+            entries.clear()
+            for tag, counter in dump:
+                entry = _Entry()
+                entry.counter = counter
+                entries[tag] = entry
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.guarded_evictions_avoided = state["guarded_evictions_avoided"]
 
     def _evict(self, entries: "OrderedDict[int, _Entry]") -> None:
         if self._guard:
@@ -148,15 +163,23 @@ class PageWalkCache:
             return self.geometry.walk_levels
         return level - self.geometry.leaf_level
 
-    def estimate_accesses(self, vpn: int) -> int:
+    def score(self, vpn: int) -> Tuple[int, Tuple[int, ...]]:
         """Score probe (action 1-a): estimate accesses and pin hit entries.
 
         Increments the 2-bit counters of every entry at or below the
-        deepest hit (the entries the estimate relies on).
+        deepest hit (the entries the estimate relies on) and returns
+        ``(accesses, pinned_levels)``.  The caller must record
+        ``pinned_levels`` on the pending walk so :meth:`walk_lookup` can
+        unpin exactly those levels — unpinning by the hit depth *at walk
+        time* drifts whenever fills or evictions change the depth between
+        scoring and walking (pins leak until saturation, or unrelated
+        entries lose their guard).
         """
         level = self._deepest_hit(vpn, count_stats=True)
+        pinned_levels: Tuple[int, ...] = ()
         if level:
-            for pinned in range(level, PAGE_TABLE_LEVELS + 1):
+            pinned_levels = tuple(range(level, PAGE_TABLE_LEVELS + 1))
+            for pinned in pinned_levels:
                 self._levels[pinned].bump_counter(
                     self.geometry.vpn_prefix(vpn, pinned), +1
                 )
@@ -164,24 +187,33 @@ class PageWalkCache:
         tracer = self.tracer
         if tracer is not None and tracer.cat_pwc:
             tracer.pwc_probe(self._trace_now(), "score", vpn, level, accesses)
-        return accesses
+        return accesses, pinned_levels
+
+    def estimate_accesses(self, vpn: int) -> int:
+        """Back-compat wrapper over :meth:`score` (drops the pin record)."""
+        return self.score(vpn)[0]
 
     def peek_accesses(self, vpn: int) -> int:
         """Estimate accesses without touching counters or stats."""
         return self.accesses_for_hit_level(self._deepest_hit(vpn, count_stats=False))
 
-    def walk_lookup(self, vpn: int) -> int:
+    def walk_lookup(self, vpn: int, pinned_levels: Tuple[int, ...] = ()) -> int:
         """Walker lookup (action 2-b): returns accesses needed; unpins entries.
 
-        Decrements the counters this walk had incremented at scoring time
-        and refreshes LRU position of hit entries.
+        Decrements the counters of exactly the levels pinned when this
+        walk was scored (``pinned_levels``, as returned by :meth:`score`)
+        and refreshes the LRU position of the entries the walk actually
+        hits now.  A walk that was never scored (non-scoring scheduler,
+        prefetch) passes the default empty tuple and unpins nothing.
         """
         level = self._deepest_hit(vpn, count_stats=True)
+        for pinned in pinned_levels:
+            self._levels[pinned].bump_counter(
+                self.geometry.vpn_prefix(vpn, pinned), -1
+            )
         if level:
-            for pinned in range(level, PAGE_TABLE_LEVELS + 1):
-                tag = self.geometry.vpn_prefix(vpn, pinned)
-                self._levels[pinned].bump_counter(tag, -1)
-                self._levels[pinned].touch(tag)
+            for hit in range(level, PAGE_TABLE_LEVELS + 1):
+                self._levels[hit].touch(self.geometry.vpn_prefix(vpn, hit))
         accesses = self.accesses_for_hit_level(level)
         tracer = self.tracer
         if tracer is not None and tracer.cat_pwc:
@@ -222,3 +254,14 @@ class PageWalkCache:
             }
             for level, cache in self._levels.items()
         }
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[int, Dict[str, object]]:
+        return {level: cache.snapshot() for level, cache in self._levels.items()}
+
+    def restore(self, state: Dict[int, Dict[str, object]]) -> None:
+        for level, cache in self._levels.items():
+            cache.restore(state[level])

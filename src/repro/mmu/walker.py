@@ -7,6 +7,12 @@ the next level's table, so the reads cannot overlap).  On completion it
 installs the discovered upper-level entries into the PWCs and hands the
 leaf translation back to the IOMMU.
 
+The walk is a data-driven state machine: the remaining PTE addresses
+live in walker fields (not a closure chain), and each memory read
+completes into a per-walker event kind (``walker.<id>.step``), so an
+in-progress walk serialises cleanly into a checkpoint and resumes
+mid-read.
+
 Fault injection (``repro.resilience``) taps two points here: a
 completion may be *delayed* (the walker holds its result — and stays
 busy — for extra cycles) or *dropped* (the walker wedges and the
@@ -17,7 +23,7 @@ dispatches without affecting a walk already in progress.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.request import WalkBufferEntry
 from repro.engine.simulator import Simulator
@@ -37,7 +43,7 @@ class PageTableWalker:
         simulator: Simulator,
         page_table: PageTable,
         pwc: PageWalkCache,
-        page_table_read: Callable[[int, Callable[[], None]], None],
+        page_table_read: Callable[[int, Any], None],
         injector=None,
         tracer=None,
     ) -> None:
@@ -61,6 +67,19 @@ class PageTableWalker:
         #: the rest of the run (fault injection: ``drop_walk_completion``).
         self.wedged = False
         self._walk_start = 0
+        #: PTE addresses still to read for the current walk (the one in
+        #: flight excluded — its completion event is already queued).
+        self._remaining: List[int] = []
+        self._total_accesses = 0
+        #: ``(pfn, accesses)`` held back by a delayed-completion fault.
+        self._pending: Optional[Tuple[int, int]] = None
+        #: Completion sink; not serialised — the owner re-wires it on
+        #: restore (see :meth:`restore`).
+        self._on_complete: Optional[WalkCompletion] = None
+        self._step_kind = f"walker.{walker_id}.step"
+        self._deliver_kind = f"walker.{walker_id}.deliver"
+        simulator.register(self._step_kind, self._issue_next)
+        simulator.register(self._deliver_kind, self._deliver_pending)
 
     @property
     def is_busy(self) -> bool:
@@ -76,37 +95,30 @@ class PageTableWalker:
             raise RuntimeError(f"walker {self.walker_id} is already busy")
         self._current = entry
         self._walk_start = self._sim.now
+        self._on_complete = on_complete
 
-        accesses_needed = self._pwc.walk_lookup(entry.vpn)
+        accesses_needed = self._pwc.walk_lookup(entry.vpn, entry.pinned_levels)
         # The full root-to-leaf address list; a PWC hit skips the upper
         # levels, leaving only the deepest `accesses_needed` reads.
         path = self._page_table.walk_addresses(entry.vpn)
-        remaining = [address for _, address in path[-accesses_needed:]]
-        self._issue_next(entry, remaining, accesses_needed, on_complete)
+        self._remaining = [address for _, address in path[-accesses_needed:]]
+        self._total_accesses = accesses_needed
+        self._issue_next()
 
-    def _issue_next(
-        self,
-        entry: WalkBufferEntry,
-        remaining: list,
-        total_accesses: int,
-        on_complete: WalkCompletion,
-    ) -> None:
-        if not remaining:
-            self._finish(entry, total_accesses, on_complete)
+    def _issue_next(self) -> None:
+        if not self._remaining:
+            self._finish()
             return
-        address = remaining[0]
+        address = self._remaining.pop(0)
         self.memory_accesses += 1
         tracer = self._tracer
         if tracer is not None and tracer.cat_memory:
             tracer.ptw_read(self._sim.now, self.walker_id, address)
-        self._page_table_read(
-            address,
-            lambda: self._issue_next(entry, remaining[1:], total_accesses, on_complete),
-        )
+        self._page_table_read(address, (self._step_kind,))
 
-    def _finish(
-        self, entry: WalkBufferEntry, accesses: int, on_complete: WalkCompletion
-    ) -> None:
+    def _finish(self) -> None:
+        entry = self._current
+        accesses = self._total_accesses
         pfn = self._page_table.translate(entry.vpn)
         self._pwc.fill(entry.vpn)
         if self._injector is not None:
@@ -121,19 +133,16 @@ class PageTableWalker:
                 self.wedged = True
                 return
             if action == "delay" and extra > 0:
-                self._sim.after(
-                    extra, lambda: self._deliver(entry, accesses, pfn, on_complete)
-                )
+                self._pending = (pfn, accesses)
+                self._sim.post(extra, self._deliver_kind)
                 return
-        self._deliver(entry, accesses, pfn, on_complete)
+        self._pending = (pfn, accesses)
+        self._deliver_pending()
 
-    def _deliver(
-        self,
-        entry: WalkBufferEntry,
-        accesses: int,
-        pfn: int,
-        on_complete: WalkCompletion,
-    ) -> None:
+    def _deliver_pending(self) -> None:
+        pfn, accesses = self._pending
+        self._pending = None
+        entry = self._current
         self.walks_completed += 1
         self.busy_cycles += self._sim.now - self._walk_start
         self._current = None
@@ -142,4 +151,37 @@ class PageTableWalker:
                 self._walk_start, self._sim.now, self.walker_id,
                 entry.vpn, entry.instruction_id, accesses,
             )
-        on_complete(self, entry, pfn, accesses)
+        self._on_complete(self, entry, pfn, accesses)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All walk state; the completion sink is code, not captured."""
+        return {
+            "current": self._current,
+            "walks_completed": self.walks_completed,
+            "memory_accesses": self.memory_accesses,
+            "busy_cycles": self.busy_cycles,
+            "stalled_until": self.stalled_until,
+            "wedged": self.wedged,
+            "walk_start": self._walk_start,
+            "remaining": list(self._remaining),
+            "total_accesses": self._total_accesses,
+            "pending": self._pending,
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Adopt a snapshot.  The owner must re-set ``_on_complete``
+        (the IOMMU does) before the next completion fires."""
+        self._current = state["current"]
+        self.walks_completed = state["walks_completed"]
+        self.memory_accesses = state["memory_accesses"]
+        self.busy_cycles = state["busy_cycles"]
+        self.stalled_until = state["stalled_until"]
+        self.wedged = state["wedged"]
+        self._walk_start = state["walk_start"]
+        self._remaining = list(state["remaining"])
+        self._total_accesses = state["total_accesses"]
+        self._pending = state["pending"]

@@ -177,7 +177,16 @@ def _speedups_vs_baseline(
 ) -> Dict[str, Any]:
     """Per-scheduler speedup distributions, paired per (workload, seed)."""
     #: scheduler -> list of (workload, speedup), in sorted case order.
-    paired: Dict[str, List[Tuple[str, float]]] = {}
+    #: Pre-seeded with every non-baseline scheduler seen anywhere, so a
+    #: scheduler whose runs all failed (or never paired with a healthy
+    #: baseline) still gets an explicit "pairs": 0 row instead of
+    #: feeding an empty sample list to geometric_mean.
+    paired: Dict[str, List[Tuple[str, float]]] = {
+        scheduler: []
+        for by_scheduler in cycles_by_case.values()
+        for scheduler in by_scheduler
+        if scheduler != baseline_scheduler
+    }
     for (workload, _seed), by_scheduler in sorted(cycles_by_case.items()):
         base = by_scheduler.get(baseline_scheduler)
         if base is None or base <= 0:
@@ -188,6 +197,9 @@ def _speedups_vs_baseline(
             paired.setdefault(scheduler, []).append((workload, base / cycles))
     out: Dict[str, Any] = {}
     for scheduler, samples in sorted(paired.items()):
+        if not samples:
+            out[scheduler] = {"pairs": 0}
+            continue
         values = [speedup for _workload, speedup in samples]
         per_workload: Dict[str, float] = {}
         by_workload: Dict[str, List[float]] = {}
@@ -277,6 +289,9 @@ def fleet_markdown(report: Dict[str, Any]) -> str:
         lines.append("| scheduler | geomean | min | max | stdev | pairs |")
         lines.append("|---|---|---|---|---|---|")
         for scheduler, stats in sorted(speedups.items()):
+            if not stats.get("pairs"):
+                lines.append(f"| {scheduler} | — | — | — | — | 0 |")
+                continue
             lines.append(
                 f"| {scheduler} | {stats['geomean']:.3f} "
                 f"| {stats['min']:.3f} | {stats['max']:.3f} "

@@ -357,6 +357,22 @@ class Tracer:
         })
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "events": list(self._events),
+            "events_emitted": self.events_emitted,
+            "jobs": {key: list(window) for key, window in self._jobs.items()},
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        self._events = deque(state["events"], maxlen=self.config.ring_size)
+        self.events_emitted = state["events_emitted"]
+        self._jobs = {key: list(window) for key, window in state["jobs"].items()}
+
+    # ------------------------------------------------------------------
     # Introspection and export
     # ------------------------------------------------------------------
 

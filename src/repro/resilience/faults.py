@@ -168,6 +168,8 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self._rng = random.Random(plan.seed)
+        #: The system this injector was armed against (set by :meth:`arm`).
+        self._system = None
         self._completion_faults: List[_CompletionFault] = [
             _CompletionFault(event)
             for event in sorted(
@@ -201,17 +203,29 @@ class FaultInjector:
     # ------------------------------------------------------------------
 
     def arm(self, system) -> None:
-        """Schedule every timed fault on ``system``'s simulator clock."""
+        """Schedule every timed fault on ``system``'s simulator clock.
+
+        Faults are posted as tagged ``fault.fire`` events whose payload
+        is the declarative :class:`FaultEvent` itself, so an armed queue
+        remains picklable for checkpoints.
+        """
+        self._system = system
         sim = system.simulator
+        sim.register("fault.fire", self._fire)
         for event in self.plan.events:
-            if event.kind == "flush_tlb":
-                sim.at(event.at_cycle, lambda e=event: self._flush_tlb(system, e))
-            elif event.kind == "corrupt_tlb":
-                sim.at(event.at_cycle, lambda e=event: self._corrupt_tlb(system, e))
-            elif event.kind == "flush_pwc":
-                sim.at(event.at_cycle, lambda e=event: self._flush_pwc(system, e))
-            elif event.kind == "stall_walker":
-                sim.at(event.at_cycle, lambda e=event: self._stall_walker(system, e))
+            if event.kind in ("flush_tlb", "corrupt_tlb", "flush_pwc", "stall_walker"):
+                sim.post_at(event.at_cycle, "fault.fire", event)
+
+    def _fire(self, event: FaultEvent) -> None:
+        system = self._system
+        if event.kind == "flush_tlb":
+            self._flush_tlb(system, event)
+        elif event.kind == "corrupt_tlb":
+            self._corrupt_tlb(system, event)
+        elif event.kind == "flush_pwc":
+            self._flush_pwc(system, event)
+        elif event.kind == "stall_walker":
+            self._stall_walker(system, event)
 
     def _count(self, kind: str) -> None:
         self.injected[kind] = self.injected.get(kind, 0) + 1
@@ -263,7 +277,7 @@ class FaultInjector:
         )
         # When the stall lifts, buffered work may be waiting on this
         # walker — poke the scheduler so it does not idle forever.
-        sim.at(walker.stalled_until, iommu.resume_walkers)
+        sim.post_at(walker.stalled_until, "iommu.kick")
 
     # ------------------------------------------------------------------
     # Inline hooks consulted by the hardware models
@@ -307,6 +321,31 @@ class FaultInjector:
             self._count("dram_spike")
             self._trace("dram_spike", now, {"extra_cycles": extra})
         return extra
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "rng": self._rng.getstate(),
+            "completion_remaining": [
+                fault.remaining for fault in self._completion_faults
+            ],
+            "injected": dict(self.injected),
+            "entries_corrupted": self.entries_corrupted,
+            "dropped_completions": self.dropped_completions,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        self._rng.setstate(state["rng"])
+        for fault, remaining in zip(
+            self._completion_faults, state["completion_remaining"]
+        ):
+            fault.remaining = remaining
+        self.injected = dict(state["injected"])
+        self.entries_corrupted = state["entries_corrupted"]
+        self.dropped_completions = state["dropped_completions"]
 
     # ------------------------------------------------------------------
     # Reporting

@@ -139,6 +139,14 @@ class CheckpointStore:
     def _path(self, spec: Mapping[str, Any]) -> Path:
         return self.directory / f"{spec_key(spec)}.json"
 
+    def inrun_path(self, spec: Mapping[str, Any]) -> Path:
+        """Where a spec's mid-run simulation checkpoint lives.
+
+        Keyed like the result files, so a retry of the same spec finds
+        the state its previous attempt left behind.
+        """
+        return self.directory / f"{spec_key(spec)}.ckpt"
+
     def load(self, spec: Mapping[str, Any]) -> Optional[SimulationResult]:
         path = self._path(spec)
         if not path.exists():

@@ -1,0 +1,242 @@
+"""Golden checkpoint/resume equivalence: interrupted ≡ uninterrupted.
+
+The tentpole guarantee of in-run checkpointing: a run interrupted at any
+cycle and resumed from its checkpoint produces **bit-identical** final
+statistics to the run that was never interrupted.  Exercised for every
+registered scheduler, at several interrupt points (mid-walk is
+guaranteed at any mid-run cycle; the scoring schedulers add mid-aging
+state), across chained interruptions, and with fault injection, metrics
+sampling and lifecycle tracing active.
+
+Only wall-clock fields (``detail["engine"]["wall_seconds"]`` and
+``events_per_sec``) are exempt — everything else, down to the walk
+latency percentiles and fault-injector stats, must match exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import (
+    MAX_CYCLES,
+    resume_simulation,
+    run_simulation,
+)
+from repro.obs.trace import TraceConfig
+from repro.resilience.faults import FaultEvent, FaultPlan
+from repro.resilience.watchdog import WatchdogError
+from tests.conftest import tiny_config
+
+SCHEDULERS = ("fcfs", "random", "sjf", "batch", "simt", "fairshare")
+WORKLOAD = "XSB"
+WAVEFRONTS = 8
+SCALE = 0.05
+#: Huge next to tiny-config runtimes, tiny next to the 2e9 safety valve.
+WATCHDOG = 5_000_000
+#: Small enough that every tiny run fires several periodic checkpoints.
+EVERY = 2_000
+
+
+def _fingerprint(result):
+    """Everything deterministic about a result (wall clock excluded)."""
+    data = dataclasses.asdict(result)
+    engine = data["detail"].get("engine")
+    if engine is not None:
+        engine.pop("wall_seconds", None)
+        engine.pop("events_per_sec", None)
+    return data
+
+
+def _run(scheduler, **kwargs):
+    kwargs.setdefault("config", tiny_config())
+    return run_simulation(
+        WORKLOAD,
+        scheduler=scheduler,
+        num_wavefronts=WAVEFRONTS,
+        scale=SCALE,
+        seed=0,
+        watchdog_cycles=WATCHDOG,
+        **kwargs,
+    )
+
+
+def _interrupt_at(scheduler, cycle, path, **kwargs):
+    """Run until ``cycle`` then die, leaving a crash checkpoint behind."""
+    with pytest.raises(WatchdogError):
+        _run(
+            scheduler,
+            max_cycles=cycle,
+            checkpoint_every=EVERY,
+            checkpoint_path=str(path),
+            **kwargs,
+        )
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    """Straight-through reference results, computed once per scheduler."""
+    cache = {}
+
+    def get(scheduler):
+        if scheduler not in cache:
+            cache[scheduler] = _fingerprint(_run(scheduler))
+        return cache[scheduler]
+
+    return get
+
+
+# ----------------------------------------------------------------------
+# Checkpointing itself must be read-only
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_checkpointing_run_matches_plain(scheduler, baselines, tmp_path):
+    path = tmp_path / "run.ckpt"
+    result = _run(
+        scheduler, checkpoint_every=EVERY, checkpoint_path=str(path)
+    )
+    assert _fingerprint(result) == baselines(scheduler)
+    assert path.exists()  # at least one periodic checkpoint fired
+
+
+# ----------------------------------------------------------------------
+# Resume from a mid-run checkpoint reproduces the full run
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_resume_from_midrun_checkpoint(scheduler, baselines, tmp_path):
+    # A completed checkpointing run leaves its *last periodic* dump on
+    # disk — a genuine mid-run state.  Resuming it must replay the tail
+    # to the identical end state.
+    path = tmp_path / "run.ckpt"
+    _run(scheduler, checkpoint_every=EVERY, checkpoint_path=str(path))
+    resumed = resume_simulation(str(path))
+    assert _fingerprint(resumed) == baselines(scheduler)
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_interrupt_and_resume_bit_identical(scheduler, baselines, tmp_path):
+    want = baselines(scheduler)
+    cycle = want["total_cycles"] // 2  # guaranteed mid-walk territory
+    path = tmp_path / "crash.ckpt"
+    _interrupt_at(scheduler, cycle, path)
+    resumed = resume_simulation(str(path), max_cycles=MAX_CYCLES)
+    assert _fingerprint(resumed) == want
+
+
+@pytest.mark.parametrize("fraction", [0.1, 0.35, 0.85])
+def test_interrupt_points_across_the_run(fraction, baselines, tmp_path):
+    # Sweep early/mid/late interrupt points on the paper's scheduler —
+    # early catches walks in their first DRAM round-trips, late catches
+    # aged entries and drained wavefronts.
+    want = baselines("simt")
+    cycle = max(1, int(want["total_cycles"] * fraction))
+    path = tmp_path / "crash.ckpt"
+    _interrupt_at("simt", cycle, path)
+    resumed = resume_simulation(str(path), max_cycles=MAX_CYCLES)
+    assert _fingerprint(resumed) == want
+
+
+def test_chained_interruptions_compose(baselines, tmp_path):
+    # Die twice: resume itself re-arms checkpointing and crash dumps, so
+    # a second interruption resumes from the second checkpoint.
+    want = baselines("sjf")
+    path = tmp_path / "crash.ckpt"
+    _interrupt_at("sjf", want["total_cycles"] // 3, path)
+    with pytest.raises(WatchdogError):
+        resume_simulation(
+            str(path),
+            max_cycles=2 * want["total_cycles"] // 3,
+            checkpoint_every=EVERY,
+        )
+    resumed = resume_simulation(str(path), max_cycles=MAX_CYCLES)
+    assert _fingerprint(resumed) == want
+
+
+# ----------------------------------------------------------------------
+# Orthogonal subsystems survive the round trip
+# ----------------------------------------------------------------------
+
+
+def _fault_config():
+    plan = FaultPlan(
+        seed=7,
+        events=(
+            FaultEvent("flush_tlb", at_cycle=5_000, site="gpu_l2"),
+            FaultEvent("flush_pwc", at_cycle=12_000),
+            FaultEvent("stall_walker", at_cycle=3_000, target=1,
+                       duration=4_000),
+            FaultEvent("delay_walk_completion", at_cycle=2_000,
+                       magnitude=500, count=4),
+        ),
+    )
+    return tiny_config().with_faults(plan)
+
+
+def test_resume_with_faults_armed(tmp_path):
+    # Interrupt between fault firings: some already injected (their
+    # effects live in restored component state), some still pending in
+    # the restored event queue.  Stats and injector bookkeeping must
+    # match the uninterrupted run exactly.
+    config = _fault_config()
+    want = _fingerprint(_run("simt", config=config))
+    assert sum(want["detail"]["faults"]["injected"].values()) > 0
+    cycle = want["total_cycles"] // 2
+    path = tmp_path / "crash.ckpt"
+    _interrupt_at("simt", cycle, path, config=_fault_config())
+    resumed = resume_simulation(str(path), max_cycles=MAX_CYCLES)
+    assert _fingerprint(resumed) == want
+
+
+def test_resume_with_metrics_sampling(tmp_path):
+    want = _fingerprint(_run("simt", metrics=True))
+    cycle = want["total_cycles"] // 2
+    path = tmp_path / "crash.ckpt"
+    _interrupt_at("simt", cycle, path, metrics=True)
+    resumed = resume_simulation(str(path), max_cycles=MAX_CYCLES)
+    assert _fingerprint(resumed) == want
+
+
+def test_resume_with_tracing(tmp_path):
+    trace = TraceConfig()
+    want = _fingerprint(_run("simt", trace=trace))
+    cycle = want["total_cycles"] // 2
+    path = tmp_path / "crash.ckpt"
+    _interrupt_at("simt", cycle, path, trace=trace)
+    resumed = resume_simulation(str(path), max_cycles=MAX_CYCLES)
+    assert _fingerprint(resumed) == want
+
+
+# ----------------------------------------------------------------------
+# API guard rails
+# ----------------------------------------------------------------------
+
+
+def test_checkpoint_every_requires_path():
+    with pytest.raises(ValueError, match="checkpoint_path"):
+        _run("fcfs", checkpoint_every=100)
+
+
+def test_checkpoint_rejects_scheduler_instances():
+    from repro.core.schedulers import make_scheduler
+
+    with pytest.raises(ValueError, match="registry scheduler name"):
+        _run(
+            make_scheduler("fcfs"),
+            checkpoint_every=100,
+            checkpoint_path="unused.ckpt",
+        )
+
+
+def test_checkpoint_rejects_profiling():
+    with pytest.raises(ValueError, match="profile"):
+        _run(
+            "fcfs",
+            profile=True,
+            checkpoint_every=100,
+            checkpoint_path="unused.ckpt",
+        )

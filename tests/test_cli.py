@@ -21,6 +21,27 @@ def test_run_command_small(capsys):
     assert "KMN" in out and "simt" in out
 
 
+def test_run_checkpoint_then_resume(tmp_path, capsys):
+    ckpt = str(tmp_path / "run.ckpt")
+    code = main(
+        ["run", "kmn", "--scale", "0.05", "--wavefronts", "4",
+         "--scheduler", "simt", "--checkpoint-every", "100",
+         "--checkpoint-path", ckpt]
+    )
+    assert code == 0
+    first = capsys.readouterr().out
+    # The completed run leaves its last mid-run checkpoint behind;
+    # resuming it replays the tail to the same final statistics.
+    assert main(["resume", ckpt]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_run_checkpoint_every_requires_path():
+    with pytest.raises(ValueError, match="checkpoint_path"):
+        main(["run", "kmn", "--scale", "0.05", "--wavefronts", "4",
+              "--checkpoint-every", "500"])
+
+
 def test_compare_command_small(capsys):
     code = main(
         [

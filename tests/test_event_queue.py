@@ -1,4 +1,4 @@
-"""Unit tests for the event queue: ordering, stability, errors."""
+"""Unit tests for the event queue: ordering, stability, snapshots."""
 
 import pytest
 
@@ -13,35 +13,52 @@ def test_empty_queue_is_falsy():
 
 def test_push_pop_single_event():
     queue = EventQueue()
-    queue.push(5, lambda: "a")
-    time, seq, callback = queue.pop()
+    queue.push(5, "walker.step", (3,))
+    time, seq, kind, payload = queue.pop()
     assert time == 5
-    assert callback() == "a"
+    assert kind == "walker.step"
+    assert payload == (3,)
+
+
+def test_payload_defaults_to_empty_tuple():
+    queue = EventQueue()
+    queue.push(0, "iommu.kick")
+    _time, _seq, kind, payload = queue.pop()
+    assert kind == "iommu.kick"
+    assert payload == ()
 
 
 def test_events_pop_in_time_order():
     queue = EventQueue()
-    queue.push(30, lambda: "late")
-    queue.push(10, lambda: "early")
-    queue.push(20, lambda: "middle")
+    queue.push(30, "late")
+    queue.push(10, "early")
+    queue.push(20, "middle")
     times = [queue.pop()[0] for _ in range(3)]
     assert times == [10, 20, 30]
 
 
 def test_same_time_events_are_fifo():
     queue = EventQueue()
-    order = []
     for tag in ("first", "second", "third"):
-        queue.push(7, lambda tag=tag: order.append(tag))
-    while queue:
-        queue.pop()[2]()
-    assert order == ["first", "second", "third"]
+        queue.push(7, tag)
+    kinds = [queue.pop()[2] for _ in range(3)]
+    assert kinds == ["first", "second", "third"]
+
+
+def test_payloads_never_compared_for_ordering():
+    # Payload objects need not be orderable; the (time, seq) prefix is
+    # always unique, so the heap must not look past it.
+    queue = EventQueue()
+    queue.push(7, "a", (object(),))
+    queue.push(7, "a", (object(),))
+    queue.push(7, "a", (object(),))
+    assert [queue.pop()[1] for _ in range(3)] == [0, 1, 2]
 
 
 def test_peek_time_returns_earliest():
     queue = EventQueue()
-    queue.push(42, lambda: None)
-    queue.push(17, lambda: None)
+    queue.push(42, "x")
+    queue.push(17, "y")
     assert queue.peek_time() == 17
     assert len(queue) == 2  # peek does not consume
 
@@ -53,13 +70,41 @@ def test_peek_time_on_empty_raises():
 
 def test_negative_time_rejected():
     with pytest.raises(ValueError):
-        EventQueue().push(-1, lambda: None)
+        EventQueue().push(-1, "x")
 
 
 def test_len_tracks_pushes_and_pops():
     queue = EventQueue()
     for i in range(10):
-        queue.push(i, lambda: None)
+        queue.push(i, "tick")
     assert len(queue) == 10
     queue.pop()
     assert len(queue) == 9
+
+
+def test_snapshot_restore_roundtrip():
+    queue = EventQueue()
+    queue.push(10, "a", (1,))
+    queue.push(5, "b", (2,))
+    queue.pop()
+    state = queue.snapshot()
+
+    other = EventQueue()
+    other.push(99, "noise")
+    other.restore(state)
+    assert len(other) == 1
+    time, _seq, kind, payload = other.pop()
+    assert (time, kind, payload) == (10, "a", (1,))
+
+    # Sequence numbering continues from the snapshot, preserving FIFO
+    # order across the restore boundary.
+    other.push(10, "c")
+    assert other.pop()[1] > state["sequence"] - 1
+
+
+def test_snapshot_is_independent_copy():
+    queue = EventQueue()
+    queue.push(1, "a")
+    state = queue.snapshot()
+    queue.pop()
+    assert len(state["heap"]) == 1

@@ -240,6 +240,24 @@ def test_fleet_report_counts_failures():
     assert all(g["runs"] == 1 for g in report["groups"].values())
 
 
+def test_fleet_report_empty_speedup_group_is_explicit():
+    # Every baseline run fails: the surviving scheduler has nothing to
+    # pair against and must get an explicit "pairs": 0 row — not feed an
+    # empty sample set to geometric_mean and crash the whole report.
+    specs = [
+        {"workload": BrokenWorkload("raise"), "config": tiny_config(),
+         "num_wavefronts": 4},
+        {"workload": "MVT", "config": tiny_config(), "scheduler": "simt",
+         "num_wavefronts": 4, "scale": 0.05, "seed": 0},
+    ]
+    outcomes = run_many_resilient(specs)
+    report = fleet_report(specs, outcomes)
+    assert report["failed"] == 1 and report["ok"] == 1
+    assert report["speedup_vs_baseline"] == {"simt": {"pairs": 0}}
+    markdown = fleet_markdown(report)
+    assert "| simt | — | — | — | — | 0 |" in markdown
+
+
 def test_fleet_report_rejects_mismatched_lengths():
     specs = _tiny_sweep()
     with pytest.raises(ValueError, match="specs"):

@@ -82,11 +82,45 @@ class TestCounterGuard:
         pwc = make_pwc(entries=2, ways=2, guard=True)
         vpn_a = 1 << 27
         pwc.fill(vpn_a)
-        pwc.estimate_accesses(vpn_a)  # pin
-        pwc.walk_lookup(vpn_a)  # unpin (2-b)
+        _, pinned = pwc.score(vpn_a)  # pin
+        pwc.walk_lookup(vpn_a, pinned)  # unpin (2-b)
         pwc.fill(2 << 27)
         pwc.fill(3 << 27)
         assert pwc.peek_accesses(vpn_a) == 4  # evicted normally
+
+    def test_unscored_walk_leaves_pins_alone(self):
+        # A prefetch or non-scoring scheduler walks without a score
+        # record: walk_lookup must not decrement anyone's counters.
+        pwc = make_pwc(entries=2, ways=2, guard=True)
+        vpn_a = 1 << 27
+        pwc.fill(vpn_a)
+        pwc.score(vpn_a)  # pin
+        pwc.walk_lookup(vpn_a)  # unscored walk: no pinned_levels
+        pwc.fill(2 << 27)
+        pwc.fill(3 << 27)
+        assert pwc.peek_accesses(vpn_a) == 1  # pin intact, A survives
+
+    def test_pin_drift_between_score_and_walk(self):
+        # Regression: walk_lookup must unpin the levels recorded when
+        # the walk was *scored*, not the levels it hits at walk time.
+        # The hit depth can change in between (here a fill deepens it);
+        # unpinning by walk-time depth would strip pins that belong to
+        # a still-pending request.
+        pwc = make_pwc(entries=2, ways=2, guard=True)
+        base, sibling = 0, 1 << 18  # same level-4 prefix, new level-3/2
+        pwc.fill(base)
+        accesses, pinned = pwc.score(sibling)
+        assert accesses == 3
+        assert pinned == (4,)  # only the level-4 entry was hit
+        pwc.fill(sibling)  # depth changes: levels 2..4 now cached
+        _, pinned_b = pwc.score(sibling)  # a second request pins 2,3,4
+        assert pinned_b == (2, 3, 4)
+        pwc.walk_lookup(sibling, pinned)  # first walk unpins level 4 only
+        counters = {}
+        for level in (2, 3, 4):
+            tag = pwc.geometry.vpn_prefix(sibling, level)
+            counters[level] = pwc._levels[level]._set_for(tag)[tag].counter
+        assert counters == {2: 1, 3: 1, 4: 1}  # request B's pins intact
 
     def test_no_guard_evicts_pinned(self):
         pwc = make_pwc(entries=2, ways=2, guard=False)
@@ -114,10 +148,9 @@ class TestCounterGuard:
         pwc = make_pwc(entries=2, ways=2, guard=True)
         vpn = 1 << 27
         pwc.fill(vpn)
-        for _ in range(10):  # increments saturate at 3
-            pwc.estimate_accesses(vpn)
-        for _ in range(10):  # decrements floor at 0
-            pwc.walk_lookup(vpn)
+        pins = [pwc.score(vpn)[1] for _ in range(10)]  # saturates at 3
+        for pinned in pins:  # decrements floor at 0
+            pwc.walk_lookup(vpn, pinned)
         # After the flurry the entry must be evictable again.
         pwc.fill(2 << 27)
         pwc.fill(3 << 27)

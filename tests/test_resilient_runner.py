@@ -277,3 +277,62 @@ def test_resilient_parallel_matches_direct_runs():
     assert [_fingerprint(o.result) for o in outcomes] == [
         _fingerprint(r) for r in direct
     ]
+
+
+# ----------------------------------------------------------------------
+# In-run checkpointing: retries resume from the middle
+# ----------------------------------------------------------------------
+
+
+def test_inrun_checkpointing_validates_its_inputs(tmp_path):
+    with pytest.raises(ValueError, match="checkpoint"):
+        run_many_resilient([_good_spec()], inrun_checkpoint_every=100)
+    with pytest.raises(ValueError, match="inrun_checkpoint_every"):
+        run_many_resilient(
+            [_good_spec()],
+            checkpoint=str(tmp_path / "sweep"),
+            inrun_checkpoint_every=0,
+        )
+
+
+def test_inrun_resume_continues_an_interrupted_run(tmp_path, monkeypatch):
+    from repro.experiments import runner as runner_module
+    from repro.resilience.outcomes import CheckpointStore
+
+    spec = _good_spec(4)
+    want = _fingerprint(run_simulation(**spec))
+
+    # Fabricate a dead previous attempt: run the same spec with periodic
+    # checkpointing straight to its sweep in-run path.  The completed
+    # run leaves its *last mid-run* dump behind, exactly what a killed
+    # or timed-out worker would have left.
+    ckpt = tmp_path / "sweep"
+    inrun = CheckpointStore(str(ckpt)).inrun_path(spec)
+    run_simulation(
+        **spec, checkpoint_every=500, checkpoint_path=str(inrun)
+    )
+    assert inrun.exists()
+
+    # The retry must go through resume_simulation, never a full restart.
+    def _no_restart(*_args, **_kwargs):
+        raise AssertionError("expected a resume, got a fresh run")
+
+    monkeypatch.setattr(runner_module, "run_simulation", _no_restart)
+    outcomes = run_many_resilient(
+        [spec], checkpoint=str(ckpt), inrun_checkpoint_every=500
+    )
+    assert outcomes[0].ok
+    assert _fingerprint(outcomes[0].result) == want
+    assert not inrun.exists()  # consumed and cleaned up on success
+
+
+def test_inrun_checkpointing_does_not_perturb_results(tmp_path):
+    spec = _good_spec(5)
+    want = _fingerprint(run_simulation(**spec))
+    outcomes = run_many_resilient(
+        [spec],
+        checkpoint=str(tmp_path / "sweep"),
+        inrun_checkpoint_every=500,
+    )
+    assert outcomes[0].ok
+    assert _fingerprint(outcomes[0].result) == want

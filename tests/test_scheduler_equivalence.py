@@ -6,7 +6,10 @@ changed complexity but not behaviour:
 1. **Golden pins** — full runs of every registered scheduler on three
    workloads × two seeds must reproduce the exact ``total_cycles``,
    ``stall_cycles`` and ``walks_dispatched`` captured from the
-   pre-optimisation code (``tests/golden_equivalence.json``).
+   pre-optimisation code (``tests/golden_equivalence.json``).  The
+   scoring-scheduler rows (sjf/simt/fairshare) were re-captured when
+   the PWC counter-pin drift fix landed: unpinning by score-time level
+   instead of walk-time level legitimately changes their numbers.
 2. **Reference twins** — each optimized policy and its naive twin from
    :mod:`repro.core.reference` run the same workload; the *complete
    dispatch sequence* and all deterministic statistics must match.

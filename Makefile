@@ -1,7 +1,7 @@
 # Developer conveniences for the repro package.
 
-.PHONY: install test bench perf figures quicktest faults trace overhead \
-	fleet fleet-bench bench-check checkpoint clean
+.PHONY: install test bench perf event-core figures quicktest faults trace \
+	overhead fleet fleet-bench bench-check checkpoint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -17,6 +17,9 @@ bench:
 
 perf:
 	python benchmarks/perf/hotpath.py
+
+event-core:
+	python benchmarks/perf/event_core.py
 
 faults:
 	python -m repro faults --seed 2018 --runs 8 --jobs 2 --timeout 300

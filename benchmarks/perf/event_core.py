@@ -1,0 +1,206 @@
+"""Event-core microbenchmark: calendar queue ops and batch dispatch.
+
+Two measurements, written to a JSON report (default
+``BENCH_event_core.json`` in the repository root):
+
+* **queue ops** — steady-state push/pop churn through the calendar
+  :class:`~repro.engine.event_queue.EventQueue` against a plain
+  ``heapq`` reference twin (the pre-PR-6 implementation), under two
+  time distributions: *dense* (many same-cycle ties, the GPU-model
+  regime) and *sparse* (mostly distinct times, the queue's worst case);
+* **dispatch** — events/second through ``Simulator.run`` on a
+  same-cycle-heavy synthetic stream, with and without a batch handler
+  registered for the hot kind, plus the same stream on a singleton
+  (no-ties) schedule to pin the scalar fast path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/event_core.py [--quick]
+        [--output F] [--no-check]
+
+The thresholds asserted here guard the calendar queue against losing to
+the heap it replaced on the tie-heavy regime, and batched dispatch
+against losing to the scalar loop it shortcuts; ``--no-check`` records
+without asserting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from heapq import heappop, heappush
+from pathlib import Path
+
+from repro.engine.event_queue import EventQueue
+from repro.engine.simulator import Simulator
+from repro.stats.export import write_bench_report
+
+
+class _HeapReference:
+    """The pre-calendar event queue: one binary heap of tagged tuples."""
+
+    def __init__(self):
+        self._heap = []
+        self._sequence = 0
+
+    def push(self, time_, kind, payload=()):
+        heappush(self._heap, (time_, self._sequence, kind, payload))
+        self._sequence += 1
+
+    def pop(self):
+        return heappop(self._heap)
+
+
+#: Delay distributions for the churn loop.  ``dense`` mirrors the GPU
+#: model (most completions land within a few cycles of each other, with
+#: heavy same-cycle collision); ``sparse`` spreads times out so almost
+#: every push opens a fresh bucket.
+DISTRIBUTIONS = {
+    "dense": (0, 0, 0, 1, 1, 2, 3, 5),
+    "sparse": tuple(range(1, 257, 2)),
+}
+
+
+def measure_queue_ops(queue_factory, delays, occupancy, ops, seed=0):
+    """Push/pop pairs per second at steady-state ``occupancy``."""
+    rng = random.Random(seed)
+    queue = queue_factory()
+    now = 0
+    for i in range(occupancy):
+        queue.push(rng.choice(delays), "k", (i,))
+    choices = [rng.choice(delays) for _ in range(ops)]
+    start = time.process_time()
+    for delay in choices:
+        now = queue.pop()[0]
+        queue.push(now + delay, "k", ())
+    elapsed = time.process_time() - start
+    return ops / elapsed if elapsed > 0 else float("inf")
+
+
+def bench_queue(occupancy, ops, repeats):
+    rows = {}
+    for name, delays in DISTRIBUTIONS.items():
+        calendar, heap = 0.0, 0.0
+        # Interleaved best-of-``repeats``: contention only slows a run,
+        # so each implementation's maximum is its cleanest estimate.
+        for _ in range(repeats):
+            calendar = max(
+                calendar,
+                measure_queue_ops(EventQueue, delays, occupancy, ops),
+            )
+            heap = max(
+                heap,
+                measure_queue_ops(_HeapReference, delays, occupancy, ops),
+            )
+        rows[name] = {
+            "calendar_ops_per_sec": round(calendar),
+            "heap_ops_per_sec": round(heap),
+            "speedup": round(calendar / heap, 2),
+        }
+    return rows
+
+
+def _run_dispatch(events_per_cycle, cycles, batched):
+    """Events/second through Simulator.run on a synthetic stream."""
+    sim = Simulator()
+    sink = []
+
+    def scalar(index):
+        sink.append(index)
+
+    def batch(payloads):
+        extend = sink.extend
+        for payload in payloads:
+            extend(payload)
+
+    sim.register("ev", scalar)
+    if batched:
+        sim.register_batch("ev", batch)
+    for cycle in range(1, cycles + 1):
+        for index in range(events_per_cycle):
+            sim.post_at(cycle, "ev", index)
+    total = events_per_cycle * cycles
+    start = time.process_time()
+    sim.run()
+    elapsed = time.process_time() - start
+    assert len(sink) == total
+    return total / elapsed if elapsed > 0 else float("inf")
+
+
+def bench_dispatch(events_per_cycle, cycles, repeats):
+    scalar, batched, singleton = 0.0, 0.0, 0.0
+    for _ in range(repeats):
+        scalar = max(scalar, _run_dispatch(events_per_cycle, cycles, False))
+        batched = max(batched, _run_dispatch(events_per_cycle, cycles, True))
+        # One event per cycle: run length 1, so batching cannot engage
+        # and this pins the scalar fast-path rate.
+        singleton = max(
+            singleton, _run_dispatch(1, events_per_cycle * cycles, True)
+        )
+    return {
+        "events_per_cycle": events_per_cycle,
+        "cycles": cycles,
+        "scalar_events_per_sec": round(scalar),
+        "batched_events_per_sec": round(batched),
+        "singleton_events_per_sec": round(singleton),
+        "batch_speedup": round(batched / scalar, 2),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller run for CI smoke testing"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parents[2] / "BENCH_event_core.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true", help="record without asserting thresholds"
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        occupancy, ops, repeats = 256, 20_000, 1
+        dispatch = dict(events_per_cycle=32, cycles=500, repeats=1)
+    else:
+        occupancy, ops, repeats = 256, 200_000, 3
+        dispatch = dict(events_per_cycle=32, cycles=2_000, repeats=3)
+
+    report = {
+        "queue_ops": bench_queue(occupancy, ops, repeats),
+        "dispatch": bench_dispatch(**dispatch),
+        "params": {
+            "occupancy": occupancy,
+            "ops_per_point": ops,
+            "quick": args.quick,
+        },
+    }
+    document = write_bench_report("event_core", report, args.output)
+    print(json.dumps(document, indent=2))
+
+    if args.no_check:
+        return 0
+    failures = []
+    dense = report["queue_ops"]["dense"]
+    if dense["speedup"] < 1.0:
+        failures.append(
+            f"calendar queue lost to the heap on dense ties "
+            f"({dense['speedup']} < 1.0)"
+        )
+    if report["dispatch"]["batch_speedup"] < 1.2:
+        failures.append(
+            f"batch dispatch speedup {report['dispatch']['batch_speedup']} < 1.2"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,21 @@ per kind once at construction; the event loop then dispatches
 pending-event set can be checkpointed mid-run and restored later
 (:meth:`snapshot` / :meth:`restore`) with bit-identical replay.
 
+The event loop is *batched*: it drains one calendar bucket (all events
+pending at the current cycle) at a time and dispatches maximal runs of
+consecutive same-kind events in a single call.  Kinds that registered a
+batch handler (:meth:`register_batch`) receive the whole run as
+``handle_batch([payload, ...])``; kinds without one fall back to the
+scalar handler, called once per event.  Because a run is a *consecutive*
+slice of the (time, sequence) order and batch handlers must process
+payloads in list order, batched dispatch is observably identical to the
+scalar loop — same handler invocation order, same results.
+
+Monitor cadence survives batching: a dispatch run is capped at the
+smallest monitor countdown (and the remaining ``max_events`` budget), so
+monitors fire at exactly the same processed-event counts as a scalar
+loop — which keeps checkpoint/watchdog/metrics cadence bit-identical.
+
 For convenience (and the unit tests' sake) plain callables still work:
 :meth:`at` / :meth:`after` wrap a callable in the builtin ``"__call__"``
 kind.  Such closure events run fine but cannot be serialised — a
@@ -16,6 +31,8 @@ checkpointable model must schedule only registered kinds.
 
 from __future__ import annotations
 
+import gc
+from heapq import heappush
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.engine.event_queue import EventQueue
@@ -38,6 +55,8 @@ class Simulator:
         self._handlers: Dict[str, Callable[..., Any]] = {
             CALLABLE_KIND: self._run_callable,
         }
+        #: Batch dispatch table: kind -> handler(list_of_payloads).
+        self._batch_handlers: Dict[str, Callable[[list], Any]] = {}
 
     @staticmethod
     def _run_callable(fn: Callable[[], Any]) -> None:
@@ -50,7 +69,8 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Total number of events fired so far (for progress reporting)."""
+        """Total events fired so far, queued and synchronously
+        dispatched alike (for progress reporting)."""
         return self._events_processed
 
     @property
@@ -68,9 +88,38 @@ class Simulator:
             raise ValueError("event kind must be a non-empty string")
         self._handlers[kind] = handler
 
+    def register_batch(
+        self, kind: str, handler: Callable[[list], Any]
+    ) -> None:
+        """Bind a *batch* handler to ``kind``.
+
+        ``handler`` receives the payload tuples of a maximal run of
+        consecutive same-cycle ``kind`` events, in (time, sequence)
+        order, and must process them in that order — the contract that
+        keeps batched dispatch equivalent to the scalar loop.  A kind
+        with only a scalar handler simply never batches; a batch
+        handler without the scalar registration is an error, because
+        :meth:`step`, run-length-1 dispatch and :meth:`dispatch` all go
+        through the scalar table.
+        """
+        if not kind:
+            raise ValueError("event kind must be a non-empty string")
+        if kind not in self._handlers:
+            raise ValueError(
+                f"register a scalar handler for {kind!r} before its "
+                f"batch handler"
+            )
+        self._batch_handlers[kind] = handler
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+
+    # The four scheduling entry points inline the calendar-bucket insert
+    # (EventQueue.push) — they run once per event, and the extra call
+    # frames are measurable on the hot path.  The queue's past-time
+    # floor check is subsumed here: the clock can never sit below the
+    # floor, so ``time >= self._now`` implies ``time >= floor``.
 
     def post_at(self, time: int, kind: str, *payload: Any) -> None:
         """Schedule event ``kind`` at absolute cycle ``time``.
@@ -82,13 +131,30 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule event at {time}, current time is {self._now}"
             )
-        self._queue.push(time, kind, payload)
+        queue = self._queue
+        bucket = queue._buckets.get(time)
+        if bucket is None:
+            queue._buckets[time] = [(queue._sequence, kind, payload)]
+            heappush(queue._times, time)
+        else:
+            bucket.append((queue._sequence, kind, payload))
+        queue._sequence += 1
+        queue._size += 1
 
     def post(self, delay: int, kind: str, *payload: Any) -> None:
         """Schedule event ``kind`` ``delay`` cycles from now."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        self._queue.push(self._now + delay, kind, payload)
+        time = self._now + delay
+        queue = self._queue
+        bucket = queue._buckets.get(time)
+        if bucket is None:
+            queue._buckets[time] = [(queue._sequence, kind, payload)]
+            heappush(queue._times, time)
+        else:
+            bucket.append((queue._sequence, kind, payload))
+        queue._sequence += 1
+        queue._size += 1
 
     def at(self, time: int, callback: Any) -> None:
         """Schedule a completion target at absolute cycle ``time``.
@@ -98,28 +164,65 @@ class Simulator:
         ``(kind, *payload)`` event tuple, which is.
         """
         if callable(callback):
-            self.post_at(time, CALLABLE_KIND, callback)
+            kind = CALLABLE_KIND
+            payload: tuple = (callback,)
         else:
-            self.post_at(time, callback[0], *callback[1:])
+            kind = callback[0]
+            payload = callback[1:]
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time}, current time is {self._now}"
+            )
+        queue = self._queue
+        bucket = queue._buckets.get(time)
+        if bucket is None:
+            queue._buckets[time] = [(queue._sequence, kind, payload)]
+            heappush(queue._times, time)
+        else:
+            bucket.append((queue._sequence, kind, payload))
+        queue._sequence += 1
+        queue._size += 1
 
     def after(self, delay: int, callback: Any) -> None:
         """Schedule a completion target ``delay`` cycles from now."""
         if callable(callback):
-            self.post(delay, CALLABLE_KIND, callback)
+            kind = CALLABLE_KIND
+            payload: tuple = (callback,)
         else:
-            self.post(delay, callback[0], *callback[1:])
+            kind = callback[0]
+            payload = callback[1:]
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        time = self._now + delay
+        queue = self._queue
+        bucket = queue._buckets.get(time)
+        if bucket is None:
+            queue._buckets[time] = [(queue._sequence, kind, payload)]
+            heappush(queue._times, time)
+        else:
+            bucket.append((queue._sequence, kind, payload))
+        queue._sequence += 1
+        queue._size += 1
 
     def dispatch(self, target: Any) -> None:
         """Invoke a completion target immediately (same cycle).
 
         Accepts the same shapes as :meth:`at` / :meth:`after`; used by
         models that complete a request synchronously instead of through
-        the queue.
+        the queue.  A dispatched completion is real work, so it counts
+        toward :attr:`events_processed` and ticks monitor countdowns —
+        otherwise watchdog/metrics cadence would drift relative to the
+        queued-event stream.  Monitors themselves fire only at event
+        *boundaries* in :meth:`run` (firing mid-handler could observe —
+        or checkpoint — half-updated component state).
         """
         if callable(target):
             target()
         else:
             self._handlers[target[0]](*target[1:])
+        self._events_processed += 1
+        for slot in self._monitors:
+            slot[2] -= 1
 
     # ------------------------------------------------------------------
     # Monitors
@@ -175,33 +278,110 @@ class Simulator:
         premature drains by inspecting their own completion state).
         """
         queue = self._queue
-        fired = 0
-        base = self._events_processed
-        monitors = self._monitors
         handlers = self._handlers
+        batch_handlers = self._batch_handlers
+        monitors = self._monitors
+        limit = float("inf") if max_events is None else max_events
+        fired = 0
+        # The loop allocates heavily (event tuples, payloads) but creates
+        # no reference cycles of its own; pausing the cyclic collector
+        # for the drain avoids generation-0 sweeps every ~700 tuples.
+        # Reference counting still frees everything promptly; anything
+        # cyclic is collected when GC resumes.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            while queue:
-                if until is not None and queue.peek_time() > until:
-                    self._now = until
-                    break
-                if max_events is not None and fired >= max_events:
-                    break
-                time, _, kind, payload = queue.pop()
-                self._now = time
-                handlers[kind](*payload)
-                fired += 1
-                if monitors:
-                    for slot in monitors:
-                        slot[2] -= 1
-                        if slot[2] <= 0:
-                            slot[2] = slot[1]
-                            # Monitors observe (and may checkpoint) the
-                            # event count, so sync it before the call —
-                            # the tight loop otherwise defers the store.
-                            self._events_processed = base + fired
-                            slot[0]()
+            self._run_loop(queue, handlers, batch_handlers, monitors, until, limit)
         finally:
-            self._events_processed = base + fired
+            if gc_was_enabled:
+                gc.enable()
+        return self._now
+
+    def _run_loop(self, queue, handlers, batch_handlers, monitors, until, limit):
+        fired = 0
+        while queue._times:
+            if until is not None and queue._times[0] > until:
+                self._now = until
+                break
+            if fired >= limit:
+                break
+            time, bucket = queue.pop_bucket()
+            self._now = time
+            i = 0
+            n = len(bucket)
+            try:
+                while i < n:
+                    event = bucket[i]
+                    kind = event[1]
+                    j = i + 1
+                    while j < n and bucket[j][1] == kind:
+                        j += 1
+                    take = j - i
+                    # Cap the dispatch run at the max-events budget and
+                    # at the nearest monitor due point, so monitors fire
+                    # at exactly the scalar loop's event counts.
+                    if fired + take > limit:
+                        take = limit - fired
+                        j = i + take
+                    if monitors:
+                        due = min(slot[2] for slot in monitors)
+                        if due < 1:
+                            due = 1
+                        if take > due:
+                            take = due
+                            j = i + take
+                    if take == 1:
+                        # An event whose handler raises is consumed (the
+                        # index advances first), matching the scalar pop
+                        # loop; siblings after it stay queued.
+                        i = j
+                        handlers[kind](*event[2])
+                        fired += 1
+                        self._events_processed += 1
+                    else:
+                        batch = batch_handlers.get(kind)
+                        if batch is None:
+                            handler = handlers[kind]
+                            while i < j:
+                                event = bucket[i]
+                                i += 1
+                                handler(*event[2])
+                                fired += 1
+                                self._events_processed += 1
+                        else:
+                            payloads = [event[2] for event in bucket[i:j]]
+                            i = j
+                            batch(payloads)
+                            fired += take
+                            self._events_processed += take
+                    if monitors:
+                        due = False
+                        for slot in monitors:
+                            slot[2] -= take
+                            if slot[2] <= 0:
+                                due = True
+                        if due:
+                            if i < n:
+                                # Monitors may checkpoint (or inspect)
+                                # the queue, so the unprocessed tail of
+                                # this bucket must be back in it before
+                                # any monitor runs; the outer loop then
+                                # re-pops the same cycle.
+                                queue.requeue(time, bucket[i:])
+                                n = i
+                            for slot in monitors:
+                                if slot[2] <= 0:
+                                    slot[2] = slot[1]
+                                    slot[0]()
+                    if fired >= limit:
+                        break
+            finally:
+                if i < n:
+                    # Aborted mid-bucket (budget exhausted, or a handler
+                    # or monitor raised): the unprocessed tail goes back
+                    # so the queue stays consistent.
+                    queue.requeue(time, bucket[i:])
         return self._now
 
     def step(self) -> bool:

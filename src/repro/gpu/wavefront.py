@@ -303,11 +303,18 @@ class Wavefront:
         gpu = self._gpu
         geometry = gpu.geometry
         frame_base = geometry.frame_base(pfn)
-        for line_va in lines:
-            physical = frame_base + geometry.offset(line_va)
+        offset = geometry.offset
+        target = ("wf.line", self.wavefront_id, inflight)
+        if len(lines) == 1:
             gpu.memory.data_access(
-                self.cu_id, physical, ("wf.line", self.wavefront_id, inflight)
+                self.cu_id, frame_base + offset(lines[0]), target
             )
+            return
+        gpu.memory.data_access_batch(
+            self.cu_id,
+            [frame_base + offset(line_va) for line_va in lines],
+            target,
+        )
 
     def _line_complete(self, inflight: _InflightInstruction) -> None:
         inflight.outstanding_lines -= 1

@@ -99,6 +99,10 @@ class IOMMU:
         ]
         self._overflow: Deque[TranslationRequest] = deque()
         self._scan_in_progress = False
+        #: Walkers currently holding a walk — a conservative guard that
+        #: lets :meth:`_idle_walker` answer "all busy" in O(1) instead
+        #: of scanning the pool (the hot case under load).
+        self._busy_walkers = 0
         #: Walks currently being serviced by a walker, keyed by VPN (a
         #: list: same-page walks from different instructions may be in
         #: flight concurrently when coalescing is disabled).
@@ -230,12 +234,20 @@ class IOMMU:
     # ------------------------------------------------------------------
 
     def _idle_walker(self) -> Optional[PageTableWalker]:
+        # Every walker holding a walk is busy regardless of stall state,
+        # so a full pool means no scan.  (The count cannot tell a merely
+        # *stalled* walker apart, so a partial pool still scans — with
+        # the same first-free-index selection as always.)
+        if self._busy_walkers >= len(self.walkers):
+            return None
+        now = self._sim._now
         for walker in self.walkers:
-            if not walker.is_busy:
+            if walker._current is None and now >= walker.stalled_until:
                 return walker
         return None
 
     def _dispatch(self, walker: PageTableWalker, entry: WalkBufferEntry) -> None:
+        self._busy_walkers += 1
         entry.dispatch_time = self._sim.now
         entry.dispatch_seq = self._dispatch_seq
         self._dispatch_seq += 1
@@ -266,6 +278,7 @@ class IOMMU:
     def _walk_complete(
         self, walker: PageTableWalker, entry: WalkBufferEntry, pfn: int, accesses: int
     ) -> None:
+        self._busy_walkers -= 1
         in_flight = self._walking[entry.vpn]
         in_flight.remove(entry)
         if not in_flight:
@@ -514,6 +527,9 @@ class IOMMU:
             # The completion sink is code, not state: re-wire it so an
             # in-flight walk delivers into this (rebuilt) IOMMU.
             walker._on_complete = self._walk_complete
+        self._busy_walkers = sum(
+            1 for walker in self.walkers if walker._current is not None
+        )
         self._overflow = deque(state["overflow"])
         self._scan_in_progress = state["scan_in_progress"]
         self._walking = {

@@ -81,6 +81,10 @@ class PageTable:
         #: Leaf mappings: unit number -> pfn (unit-sized frame number).
         self._mappings: Dict[int, int] = {}
         self._interior_nodes = 1
+        #: Memoised walk paths: once a unit is mapped, its PTE addresses
+        #: never change (interior nodes are only ever added), so the
+        #: root-to-leaf address list is computed once per vpn.
+        self._walk_cache: Dict[int, Tuple[Tuple[int, int], ...]] = {}
 
     def _allocate_node_address(self) -> int:
         return self._allocator.allocate() << PAGE_SHIFT
@@ -154,14 +158,20 @@ class PageTable:
         self._root = state["root"]
         self._mappings = dict(state["mappings"])
         self._interior_nodes = state["interior_nodes"]
+        # The restored tree may differ from the one the memo was built
+        # against (different node addresses); drop it and re-memoise.
+        self._walk_cache.clear()
 
-    def walk_addresses(self, vpn: int) -> List[Tuple[int, int]]:
+    def walk_addresses(self, vpn: int) -> Tuple[Tuple[int, int], ...]:
         """The ``(level, pte_physical_address)`` pairs a full walk touches.
 
         Ordered root-first: level 4 down to the geometry's leaf level.
         Ensures the mapping exists (allocating if needed) so that the
         addresses are defined.
         """
+        cached = self._walk_cache.get(vpn)
+        if cached is not None:
+            return cached
         self.translate(vpn)
         geometry = self.geometry
         addresses: List[Tuple[int, int]] = []
@@ -174,4 +184,6 @@ class PageTable:
         addresses.append(
             (leaf, pte_address(node.base_address, geometry.level_index(vpn, leaf)))
         )
-        return addresses
+        path = tuple(addresses)
+        self._walk_cache[vpn] = path
+        return path

@@ -28,7 +28,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, List, Tuple
 
-from repro.config import PAGE_TABLE_LEVELS, PWCConfig
+from repro.config import BITS_PER_LEVEL, PAGE_TABLE_LEVELS, PWCConfig
 from repro.mmu.geometry import BASE_4K, PageGeometry
 
 #: Page-table levels the PWC caches under the default 4 KB geometry
@@ -128,6 +128,23 @@ class PageWalkCache:
         self._levels: Dict[int, _LevelCache] = {
             level: _LevelCache(config) for level in self._cached_levels
         }
+        # Hot-path precomputation: ``vpn_prefix(vpn, level)`` is a plain
+        # shift once the level is known to be in range, and probe order
+        # (deepest first) never changes.  ``_shifts`` covers every level
+        # a pin or touch can name (leaf..root).
+        leaf = geometry.leaf_level
+        self._shifts: Dict[int, int] = {
+            level: BITS_PER_LEVEL * (level - leaf)
+            for level in range(leaf, PAGE_TABLE_LEVELS + 1)
+        }
+        self._probe_order: Tuple[Tuple[int, _LevelCache, int], ...] = tuple(
+            (level, self._levels[level], self._shifts[level])
+            for level in reversed(self._cached_levels)
+        )
+        self._fill_order: Tuple[Tuple[_LevelCache, int], ...] = tuple(
+            (self._levels[level], self._shifts[level])
+            for level in self._cached_levels
+        )
         #: Optional :class:`~repro.obs.trace.Tracer` plus a clock
         #: closure (the PWC holds no simulator reference).
         self.tracer = None
@@ -144,10 +161,9 @@ class PageWalkCache:
         Probes from the deepest cached level up to the root — a hit at
         level *n* implies the walker needs no level above *n*.
         """
-        for level in reversed(self._cached_levels):
-            cache = self._levels[level]
-            tag = self.geometry.vpn_prefix(vpn, level)
-            present = tag in cache._set_for(tag)
+        for level, cache, shift in self._probe_order:
+            tag = vpn >> shift
+            present = tag in cache._sets[tag % cache._num_sets]
             if count_stats:
                 if present:
                     cache.hits += 1
@@ -179,10 +195,9 @@ class PageWalkCache:
         pinned_levels: Tuple[int, ...] = ()
         if level:
             pinned_levels = tuple(range(level, PAGE_TABLE_LEVELS + 1))
+            shifts = self._shifts
             for pinned in pinned_levels:
-                self._levels[pinned].bump_counter(
-                    self.geometry.vpn_prefix(vpn, pinned), +1
-                )
+                self._levels[pinned].bump_counter(vpn >> shifts[pinned], +1)
         accesses = self.accesses_for_hit_level(level)
         tracer = self.tracer
         if tracer is not None and tracer.cat_pwc:
@@ -207,13 +222,12 @@ class PageWalkCache:
         prefetch) passes the default empty tuple and unpins nothing.
         """
         level = self._deepest_hit(vpn, count_stats=True)
+        shifts = self._shifts
         for pinned in pinned_levels:
-            self._levels[pinned].bump_counter(
-                self.geometry.vpn_prefix(vpn, pinned), -1
-            )
+            self._levels[pinned].bump_counter(vpn >> shifts[pinned], -1)
         if level:
             for hit in range(level, PAGE_TABLE_LEVELS + 1):
-                self._levels[hit].touch(self.geometry.vpn_prefix(vpn, hit))
+                self._levels[hit].touch(vpn >> shifts[hit])
         accesses = self.accesses_for_hit_level(level)
         tracer = self.tracer
         if tracer is not None and tracer.cat_pwc:
@@ -222,8 +236,8 @@ class PageWalkCache:
 
     def fill(self, vpn: int) -> None:
         """Install the upper-level entries discovered by a completed walk."""
-        for level in self._cached_levels:
-            self._levels[level].insert(self.geometry.vpn_prefix(vpn, level))
+        for cache, shift in self._fill_order:
+            cache.insert(vpn >> shift)
 
     def flush(self) -> int:
         """Invalidate every cached entry at every level (fault injection).

@@ -78,7 +78,11 @@ class PageTableWalker:
         self._on_complete: Optional[WalkCompletion] = None
         self._step_kind = f"walker.{walker_id}.step"
         self._deliver_kind = f"walker.{walker_id}.deliver"
+        #: Reused completion target for every page-table read this
+        #: walker issues (the payload never varies).
+        self._step_event = (self._step_kind,)
         simulator.register(self._step_kind, self._issue_next)
+        simulator.register_batch(self._step_kind, self._issue_next_batch)
         simulator.register(self._deliver_kind, self._deliver_pending)
 
     @property
@@ -114,7 +118,14 @@ class PageTableWalker:
         tracer = self._tracer
         if tracer is not None and tracer.cat_memory:
             tracer.ptw_read(self._sim.now, self.walker_id, address)
-        self._page_table_read(address, (self._step_kind,))
+        self._page_table_read(address, self._step_event)
+
+    def _issue_next_batch(self, payloads) -> None:
+        # A walker services one walk at a time, so same-cycle step runs
+        # are length 1 in practice; the batch form exists so the engine
+        # can treat every hot kind uniformly.
+        for _ in payloads:
+            self._issue_next()
 
     def _finish(self) -> None:
         entry = self._current

@@ -1,9 +1,10 @@
 """Benchmark regression gating: committed baselines vs current numbers.
 
-The perf story of this repo lives in three ``BENCH_*.json`` files —
+The perf story of this repo lives in four ``BENCH_*.json`` files —
 the scheduler hot path (``hotpath``), the tracing overhead guard
-(``tracing_overhead``) and the fleet sweep bench (``fleet``) — all
-written in the unified envelope from :mod:`repro.stats.export`.  This
+(``tracing_overhead``), the fleet sweep bench (``fleet``) and the
+event-core bench (``event_core``) — all written in the unified
+envelope from :mod:`repro.stats.export`.  This
 module turns them into a *gate*: load the committed baseline, load the
 current numbers, compare each watched metric under a configurable
 relative threshold, and fail loudly (nonzero exit via ``python -m
@@ -38,6 +39,7 @@ BENCH_FILES: Dict[str, str] = {
     "hotpath": "BENCH_hotpath.json",
     "tracing_overhead": "BENCH_tracing_overhead.json",
     "fleet": "BENCH_fleet.json",
+    "event_core": "BENCH_event_core.json",
 }
 
 #: Default directory of committed baselines, relative to the repo root.
@@ -83,6 +85,11 @@ DEFAULT_METRICS: Tuple[MetricSpec, ...] = (
     MetricSpec("fleet", "overhead.identical_results", "exact"),
     MetricSpec("fleet", "sweep.speedup_vs_fcfs.simt.geomean", "higher", 0.02),
     MetricSpec("fleet", "sweep.total_cycles_by_group", "exact"),
+    # Event core: the calendar queue must keep beating the heap on the
+    # tie-heavy regime, and batch dispatch must keep beating the scalar
+    # loop on a same-cycle-heavy stream.
+    MetricSpec("event_core", "queue_ops.dense.speedup", "higher", 0.30),
+    MetricSpec("event_core", "dispatch.batch_speedup", "higher", 0.30),
 )
 
 #: Row statuses, in decreasing severity.

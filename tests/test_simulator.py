@@ -193,3 +193,146 @@ def test_monitor_exception_aborts_run_with_consistent_counts():
 def test_monitor_invalid_interval_rejected():
     with pytest.raises(ValueError):
         Simulator().set_monitor(lambda: None, interval_events=0)
+
+
+# ----------------------------------------------------------------------
+# Batch dispatch
+# ----------------------------------------------------------------------
+
+
+class _ToySystem:
+    """Records every handler invocation: (kind, payload, now, batched)."""
+
+    def __init__(self, sim, batched_kinds=()):
+        self.sim = sim
+        self.log = []
+        for kind in ("tick", "tock"):
+            sim.register(kind, self._make_scalar(kind))
+        for kind in batched_kinds:
+            sim.register_batch(kind, self._make_batch(kind))
+
+    def _make_scalar(self, kind):
+        def handler(*payload):
+            self.log.append((kind, payload, self.sim.now))
+        return handler
+
+    def _make_batch(self, kind):
+        def handler(payloads):
+            for payload in payloads:
+                self.log.append((kind, payload, self.sim.now))
+        return handler
+
+    def post_script(self, rng_seed=0, events=200):
+        import random
+        rng = random.Random(rng_seed)
+        for i in range(events):
+            self.sim.post(
+                rng.choice((0, 0, 0, 1, 2)), rng.choice(("tick", "tock")), i
+            )
+
+
+def test_batch_dispatch_equivalent_to_scalar():
+    scalar_sim, batch_sim = Simulator(), Simulator()
+    scalar = _ToySystem(scalar_sim)
+    batched = _ToySystem(batch_sim, batched_kinds=("tick", "tock"))
+    scalar.post_script()
+    batched.post_script()
+    scalar_sim.run()
+    batch_sim.run()
+    assert batched.log == scalar.log
+    assert batch_sim.events_processed == scalar_sim.events_processed
+
+
+def test_batch_handler_receives_same_cycle_run_in_order():
+    sim = Simulator()
+    runs = []
+    sim.register("k", lambda *p: runs.append([p]))
+    sim.register_batch("k", lambda payloads: runs.append(payloads))
+    for i in range(5):
+        sim.post(3, "k", i)
+    sim.run()
+    # One batched call with all five payloads, in post order.
+    assert runs == [[(0,), (1,), (2,), (3,), (4,)]]
+
+
+def test_batch_runs_break_on_kind_change():
+    sim = Simulator()
+    log = []
+    sim.register("a", lambda *p: log.append(("a", p)))
+    sim.register("b", lambda *p: log.append(("b", p)))
+    sim.register_batch("a", lambda ps: log.append(("a-batch", list(ps))))
+    sim.post(1, "a", 0)
+    sim.post(1, "a", 1)
+    sim.post(1, "b", 2)
+    sim.post(1, "a", 3)
+    sim.run()
+    # The interleaved "b" splits the "a" events into a run of two (batch)
+    # and a singleton (scalar fast path).
+    assert log == [
+        ("a-batch", [(0,), (1,)]),
+        ("b", (2,)),
+        ("a", (3,)),
+    ]
+
+
+def test_monitor_cadence_identical_under_batching():
+    def fire_points(batched):
+        sim = Simulator()
+        system = _ToySystem(
+            sim, batched_kinds=("tick", "tock") if batched else ()
+        )
+        ticks = []
+        sim.set_monitor(lambda: ticks.append(sim.events_processed), 7)
+        system.post_script(rng_seed=3, events=100)
+        sim.run()
+        return ticks
+
+    scalar_points = fire_points(batched=False)
+    assert scalar_points  # the monitor did fire
+    assert fire_points(batched=True) == scalar_points
+
+
+def test_register_batch_requires_scalar_handler_first():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.register_batch("unregistered", lambda payloads: None)
+
+
+def test_max_events_respected_mid_batch():
+    sim = Simulator()
+    seen = []
+    sim.register("k", lambda *p: seen.append(p))
+    sim.register_batch("k", lambda ps: seen.extend(ps))
+    for i in range(10):
+        sim.post(1, "k", i)
+    sim.run(max_events=4)
+    assert seen == [(0,), (1,), (2,), (3,)]
+    assert sim.pending_events == 6
+    sim.run()
+    assert len(seen) == 10
+
+
+def test_dispatch_counts_toward_events_processed():
+    sim = Simulator()
+    hits = []
+    sim.register("done", lambda *p: hits.append(p))
+    sim.dispatch(("done", 42))
+    assert hits == [(42,)]
+    assert sim.events_processed == 1
+    sim.dispatch(lambda: hits.append("callable"))
+    assert sim.events_processed == 2
+
+
+def test_dispatch_ticks_monitor_countdowns():
+    sim = Simulator()
+    sim.register("done", lambda: None)
+    ticks = []
+    sim.set_monitor(lambda: ticks.append(sim.events_processed), 3)
+    # Two synchronous dispatches + one queued event reach the interval:
+    # the monitor fires at the queued event's boundary, not mid-handler.
+    sim.dispatch(("done",))
+    sim.dispatch(("done",))
+    assert ticks == []
+    sim.post(1, "done")
+    sim.run()
+    assert ticks == [3]

@@ -1,7 +1,7 @@
 # Developer conveniences for the repro package.
 
 .PHONY: install test bench perf event-core figures quicktest faults trace \
-	overhead fleet fleet-bench bench-check checkpoint clean
+	overhead fleet fleet-bench bench-check checkpoint service chaos clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -47,6 +47,20 @@ checkpoint:
 	python -m repro run mvt --scale 0.2 --wavefronts 16 \
 		--checkpoint-every 5000 --checkpoint-path mvt.ckpt
 	python -m repro resume mvt.ckpt
+
+# Durable work-queue campaign: shard, drain with local workers, merge.
+service:
+	rm -rf campaign
+	python -m repro service init campaign --workloads MVT,XSB \
+		--schedulers fcfs,simt --seeds 2
+	python -m repro service run campaign --workers 2
+	python -m repro service status campaign
+
+# The chaos gate: SIGKILL workers mid-spec plus a full-restart drill;
+# fails unless the merged report is byte-identical to the serial run.
+chaos:
+	rm -rf chaos-campaign
+	python -m repro service chaos chaos-campaign --seed 2018 --workers 2
 
 figures:
 	python -m repro figure table1

@@ -39,6 +39,16 @@ Commands
     baselines in ``benchmarks/baselines/`` and exit nonzero when a
     watched metric regressed beyond its threshold.
 
+``service SUBCOMMAND``
+    The durable work-queue sweep service (:mod:`repro.service`):
+    ``init`` shards a campaign into a manifest + filesystem queue,
+    ``worker`` drains it from this process, ``run`` supervises a local
+    worker pool end-to-end, ``resume`` repairs a campaign after any
+    crash or full restart, ``status`` reports progress, ``merge`` folds
+    per-shard results into the deterministic fleet report, and
+    ``chaos`` runs the SIGKILL gate that proves crash-recovery does not
+    change results.
+
 ``figure NAME``
     Regenerate one of the paper's figures/tables (fig2, fig3, fig5,
     fig6, fig8, fig9, fig10, fig11, fig12, fig13a/b/c, fig14a/b,
@@ -319,6 +329,151 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
             print("bench-check: regressions found (warn-only)", file=sys.stderr)
             return 0
         return 1
+    return 0
+
+
+def _cmd_service_init(args: argparse.Namespace) -> int:
+    from repro.service import init_campaign
+
+    manifest = init_campaign(
+        args.campaign_dir,
+        workloads=[name.upper() for name in args.workloads.split(",")],
+        schedulers=args.schedulers.split(","),
+        seeds=args.seeds,
+        scale=args.scale,
+        num_wavefronts=args.wavefronts,
+        metrics=args.metrics,
+        baseline=args.baseline,
+        config=_load_config(args),
+        batch_size=args.batch_size,
+    )
+    if not args.quiet:
+        print(
+            f"campaign initialised in {args.campaign_dir}: "
+            f"{len(manifest.spec_keys)} spec(s) in "
+            f"{len(manifest.batches)} shard task(s)"
+        )
+    return 0
+
+
+def _cmd_service_worker(args: argparse.Namespace) -> int:
+    from repro.service import run_worker
+
+    summary = run_worker(
+        args.campaign_dir,
+        worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl,
+        max_attempts=args.max_attempts,
+        max_tasks=args.max_tasks,
+        inrun_checkpoint_every=args.checkpoint_every,
+        progress=args.progress,
+    )
+    if not args.quiet:
+        print(
+            f"worker {summary['worker']} executed "
+            f"{len(summary['tasks_executed'])} shard(s); "
+            f"queue now {summary['queue']}"
+        )
+    return 0
+
+
+def _cmd_service_run(args: argparse.Namespace) -> int:
+    from repro.service import run_service
+
+    summary = run_service(
+        args.campaign_dir,
+        workers=args.workers,
+        lease_ttl=args.lease_ttl,
+        max_attempts=args.max_attempts,
+        worker_options={
+            "inrun_checkpoint_every": args.checkpoint_every,
+            "progress": args.progress,
+        },
+        allow_incomplete=args.allow_incomplete,
+    )
+    report = summary["merge"]["report"]
+    if not args.quiet:
+        print(
+            f"campaign drained with {summary['spawned']} worker "
+            f"spawn(s): {report['ok']} ok, {report['failed']} failed, "
+            f"{report['timeout']} timed out"
+        )
+        print(f"report: {summary['merge']['paths']['full']}")
+    return 0 if report["failed"] + report["timeout"] == 0 else 1
+
+
+def _cmd_service_resume(args: argparse.Namespace) -> int:
+    from repro.service import resume_campaign
+
+    summary = resume_campaign(
+        args.campaign_dir,
+        lease_ttl=args.lease_ttl,
+        max_attempts=args.max_attempts,
+        force=args.force,
+    )
+    if not args.quiet:
+        print(
+            f"resume: re-queued {len(summary['requeued'])}, restored "
+            f"{len(summary['restored'])}, abandoned "
+            f"{len(summary['abandoned'])}; queue now {summary['queue']}"
+        )
+    if args.workers > 0:
+        args.allow_incomplete = False
+        return _cmd_service_run(args)
+    return 0
+
+
+def _cmd_service_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import campaign_status
+
+    status = campaign_status(args.campaign_dir)
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0 if status["drained"] and not status["abandoned"] else 1
+
+
+def _cmd_service_merge(args: argparse.Namespace) -> int:
+    from repro.service import merge_campaign
+
+    merged = merge_campaign(
+        args.campaign_dir, allow_incomplete=args.allow_incomplete
+    )
+    report = merged["report"]
+    if not args.quiet:
+        print(
+            f"merged {report['specs']} spec(s): {report['ok']} ok, "
+            f"{report['failed']} failed, {report['timeout']} timed out"
+        )
+        for name, path in sorted(merged["paths"].items()):
+            print(f"{name}: {path}")
+    return 0 if report["failed"] + report["timeout"] == 0 else 1
+
+
+def _cmd_service_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ChaosGateError, run_chaos
+
+    try:
+        summary = run_chaos(
+            args.campaign_dir,
+            seed=args.seed,
+            workers=args.workers,
+            workloads=[name.upper() for name in args.workloads.split(",")],
+            schedulers=args.schedulers.split(","),
+            seeds=args.seeds,
+            scale=args.scale,
+            num_wavefronts=args.wavefronts,
+            max_kills=args.max_kills,
+            restart_drill=not args.no_restart_drill,
+            max_seconds=args.max_seconds,
+            quiet=args.quiet,
+        )
+    except ChaosGateError as exc:
+        print(f"chaos gate FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(summary, indent=2, sort_keys=True))
     return 0
 
 
@@ -730,6 +885,141 @@ def build_parser() -> argparse.ArgumentParser:
     qos.add_argument("--scale", type=float, default=0.3)
     qos.add_argument("--seed", type=int, default=0)
     qos.set_defaults(func=_cmd_qos)
+
+    service = sub.add_parser(
+        "service",
+        help="durable work-queue sweep service (broker/worker campaigns)",
+    )
+    service_sub = service.add_subparsers(dest="service_command", required=True)
+
+    def _campaign_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("campaign_dir", help="campaign directory (the durable state)")
+        p.add_argument("--quiet", action="store_true")
+
+    def _lease_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--lease-ttl", type=float, default=30.0,
+            help="seconds of missed heartbeats before a lease is reaped",
+        )
+        p.add_argument(
+            "--max-attempts", type=int, default=5,
+            help="claims per shard before it is abandoned as a poison task",
+        )
+
+    def _sweep_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workloads", default="MVT,XSB")
+        p.add_argument("--schedulers", default="fcfs,simt")
+        p.add_argument("--seeds", type=int, default=2)
+        p.add_argument("--scale", type=float, default=0.1)
+        p.add_argument("--wavefronts", type=int, default=8)
+
+    svc_init = service_sub.add_parser(
+        "init", help="shard a sweep into a campaign manifest + queue"
+    )
+    _campaign_arg(svc_init)
+    _sweep_args(svc_init)
+    svc_init.add_argument("--baseline", default="fcfs")
+    svc_init.add_argument(
+        "--batch-size", type=int, default=2, help="specs per shard task"
+    )
+    svc_init.add_argument("--metrics", action="store_true")
+    svc_init.add_argument(
+        "--config", default=None,
+        help="JSON machine description (possibly partial); see repro.config_io",
+    )
+    svc_init.set_defaults(func=_cmd_service_init)
+
+    svc_worker = service_sub.add_parser(
+        "worker", help="drain the campaign queue from this process"
+    )
+    _campaign_arg(svc_worker)
+    _lease_args(svc_worker)
+    svc_worker.add_argument(
+        "--worker-id", default=None, help="default: hostname-pid"
+    )
+    svc_worker.add_argument(
+        "--max-tasks", type=int, default=None,
+        help="exit after claiming this many shards (default: until drained)",
+    )
+    svc_worker.add_argument(
+        "--checkpoint-every", type=int, default=2000,
+        help="in-run checkpoint cadence in simulator events",
+    )
+    svc_worker.add_argument("--progress", action="store_true")
+    svc_worker.set_defaults(func=_cmd_service_worker)
+
+    def _run_pool_args(p: argparse.ArgumentParser) -> None:
+        _lease_args(p)
+        p.add_argument(
+            "--workers", type=int, default=2,
+            help="local worker processes to supervise",
+        )
+        p.add_argument(
+            "--checkpoint-every", type=int, default=2000,
+            help="in-run checkpoint cadence in simulator events",
+        )
+        p.add_argument("--progress", action="store_true")
+        p.add_argument(
+            "--allow-incomplete", action="store_true",
+            help="merge reports un-run specs as failures instead of erroring",
+        )
+
+    svc_run = service_sub.add_parser(
+        "run", help="supervise local workers until the queue drains, then merge"
+    )
+    _campaign_arg(svc_run)
+    _run_pool_args(svc_run)
+    svc_run.set_defaults(func=_cmd_service_run)
+
+    svc_resume = service_sub.add_parser(
+        "resume", help="repair a campaign after crashes or a full restart"
+    )
+    _campaign_arg(svc_resume)
+    _run_pool_args(svc_resume)
+    svc_resume.add_argument(
+        "--force", action="store_true",
+        help="treat every lease as stale (use after a full cluster restart)",
+    )
+    svc_resume.set_defaults(func=_cmd_service_resume)
+
+    svc_status = service_sub.add_parser(
+        "status", help="print campaign progress (exit 1 until drained clean)"
+    )
+    _campaign_arg(svc_status)
+    svc_status.set_defaults(func=_cmd_service_status)
+
+    svc_merge = service_sub.add_parser(
+        "merge", help="fold shard results into the deterministic fleet report"
+    )
+    _campaign_arg(svc_merge)
+    svc_merge.add_argument(
+        "--allow-incomplete", action="store_true",
+        help="report un-run specs as failures instead of erroring",
+    )
+    svc_merge.set_defaults(func=_cmd_service_merge)
+
+    svc_chaos = service_sub.add_parser(
+        "chaos",
+        help="SIGKILL workers mid-spec; gate on a byte-identical merged report",
+    )
+    _campaign_arg(svc_chaos)
+    svc_chaos.add_argument("--seed", type=int, default=0)
+    svc_chaos.add_argument("--workers", type=int, default=2)
+    svc_chaos.add_argument("--workloads", default="MVT")
+    svc_chaos.add_argument("--schedulers", default="fcfs,simt")
+    svc_chaos.add_argument("--seeds", type=int, default=3)
+    svc_chaos.add_argument("--scale", type=float, default=0.3)
+    svc_chaos.add_argument("--wavefronts", type=int, default=24)
+    svc_chaos.add_argument(
+        "--max-kills", type=int, default=None,
+        help="individual worker kills before the restart drill (default: workers+2)",
+    )
+    svc_chaos.add_argument(
+        "--no-restart-drill", action="store_true",
+        help="skip the kill-everything-and-resume drill",
+    )
+    svc_chaos.add_argument("--max-seconds", type=float, default=240.0)
+    svc_chaos.set_defaults(func=_cmd_service_chaos)
     return parser
 
 

@@ -34,7 +34,9 @@ unchanged and the format version stays at 1.
 from __future__ import annotations
 
 import io
+import os
 import pickle
+import uuid
 from typing import Any, Dict, Optional
 
 #: Bump when the combined state layout changes incompatibly.
@@ -95,14 +97,29 @@ def save_checkpoint_file(
     state: Dict[str, Any],
     meta: Optional[Dict[str, Any]] = None,
 ) -> None:
-    """Write a checkpoint blob to ``path`` atomically enough for a crash.
+    """Write a checkpoint blob to ``path`` atomically.
 
-    The blob is fully serialised before the file is opened, so an
-    unserialisable state never truncates an existing checkpoint.
+    The blob is fully serialised before any file is opened, so an
+    unserialisable state never truncates an existing checkpoint; the
+    write itself goes through a uniquely-named temp file (pid + uuid,
+    collision-proof against a racing second writer of the same spec)
+    and an ``os.replace``, so a process SIGKILLed mid-dump leaves the
+    *previous* checkpoint intact rather than a torn file that would
+    poison every later resume.
     """
     blob = dump_checkpoint(config, state, meta)
-    with open(path, "wb") as handle:
-        handle.write(blob)
+    tmp = f"{path}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
 
 
 def load_checkpoint_file(path: str) -> Dict[str, Any]:

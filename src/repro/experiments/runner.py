@@ -9,14 +9,17 @@ This is the library's main entry point::
 
 Sweeps run through :func:`run_many` (results, raising on the first
 failure) or :func:`run_many_resilient` (one :class:`RunOutcome` per
-spec: per-job worker processes, timeouts, bounded retry with backoff,
-crash isolation and optional on-disk checkpointing — one dying worker
-loses one job, never the sweep).
+spec: per-job worker processes, timeouts, bounded retry with
+decorrelated-jitter backoff, crash isolation and optional on-disk
+checkpointing — one dying worker loses one job, never the sweep).
+The durable multi-process layer above this lives in
+:mod:`repro.service`.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import threading
 import time
 import traceback as traceback_module
@@ -78,9 +81,11 @@ DEFAULT_WAVEFRONTS = 64
 #: deadlocked (a model bug), so fail loudly instead of spinning.
 MAX_CYCLES = 2_000_000_000
 
-#: Default base delay for the resilient sweep's retry backoff (seconds);
-#: doubles per attempt.
+#: Default base delay for the resilient sweep's retry backoff (seconds).
 RETRY_BACKOFF_SECONDS = 0.25
+
+#: Ceiling on any single retry delay (seconds).
+RETRY_BACKOFF_CAP_SECONDS = 30.0
 
 
 @dataclass
@@ -659,13 +664,23 @@ def _run_one_spec(spec: Mapping[str, Any]) -> SimulationResult:
 
     A spec carrying in-run checkpoint arguments resumes from its
     checkpoint file when one exists (a previous attempt died mid-run);
-    otherwise it starts from the beginning.
+    otherwise it starts from the beginning.  An unreadable checkpoint —
+    e.g. the previous owner was SIGKILLed mid-dump on a filesystem
+    where the dump wasn't yet atomic-renamed, or the file predates the
+    current format — is discarded and the run restarts from scratch:
+    losing progress beats wedging the spec forever.
     """
     path = spec.get("checkpoint_path")
     if path and spec.get("checkpoint_every") and os.path.exists(path):
-        return resume_simulation(
-            path, checkpoint_every=spec["checkpoint_every"]
-        )
+        try:
+            return resume_simulation(
+                path, checkpoint_every=spec["checkpoint_every"]
+            )
+        except CheckpointError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
     return run_simulation(**spec)
 
 
@@ -751,8 +766,27 @@ class _LiveJob:
         self.started = started
 
 
-def _backoff_delay(attempt: int, base: float) -> float:
-    return base * (2 ** (attempt - 1))
+def _backoff_delay(
+    previous: float,
+    base: float,
+    cap: float = RETRY_BACKOFF_CAP_SECONDS,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Decorrelated-jitter retry delay: ``min(cap, U(base, 3*prev))``.
+
+    Flat exponential backoff retries in lockstep: every spec re-queued
+    off one dead worker would wake at the same instant and stampede the
+    shared checkpoint directory (and, at service scale, the queue's
+    rename hot path).  Decorrelated jitter spreads the herd — each delay
+    is drawn from a range that grows with the *previous* delay, so
+    consecutive failures still back off exponentially on average while
+    never synchronising.  Wall-clock only; simulated results are
+    untouched.
+    """
+    draw = (rng.uniform if rng is not None else random.uniform)(
+        base, max(base, previous * 3.0)
+    )
+    return min(cap, draw)
 
 
 def run_many_resilient(
@@ -772,7 +806,10 @@ def run_many_resilient(
     * ``timeout`` bounds each attempt in wall-clock seconds; an overdue
       worker is terminated and the job marked/retried.
     * ``retries`` re-runs a failed/crashed/timed-out job up to that many
-      extra attempts, with exponential backoff from ``backoff_seconds``.
+      extra attempts, with decorrelated-jitter backoff from
+      ``backoff_seconds`` (delays grow exponentially on average but are
+      randomised so a batch of re-queued jobs never retries in
+      lockstep).
     * ``checkpoint`` names a directory where successful results persist;
       a re-invocation with the same specs resumes from completed jobs.
     * ``inrun_checkpoint_every`` (needs ``checkpoint``) makes each run
@@ -901,6 +938,7 @@ def _run_in_process(
     """Serial fallback: same retry semantics, no process isolation."""
     for index in todo:
         started = time.monotonic()
+        previous_delay = backoff_seconds
         for attempt in range(1, retries + 2):
             if telemetry is not None:
                 telemetry.spec_started(
@@ -910,7 +948,8 @@ def _run_in_process(
                 result = _run_one_spec(exec_specs[index])
             except Exception as exc:
                 if attempt <= retries:
-                    delay = _backoff_delay(attempt, backoff_seconds)
+                    delay = _backoff_delay(previous_delay, backoff_seconds)
+                    previous_delay = delay
                     if telemetry is not None:
                         telemetry.spec_retry(
                             index, describe_spec(specs[index]), attempt,
@@ -954,6 +993,8 @@ def _run_in_processes(
     live: List[_LiveJob] = []
     #: First-attempt start per index, for elapsed accounting.
     first_started: Dict[int, float] = {}
+    #: Last backoff delay per index, feeding the decorrelated jitter.
+    last_delay: Dict[int, float] = {}
     heartbeat_seconds = (
         telemetry.heartbeat_seconds if telemetry is not None else None
     )
@@ -986,7 +1027,10 @@ def _run_in_processes(
     def settle(job: _LiveJob, status: str, error_type, error, tb) -> None:
         """A job attempt ended badly: retry within budget or record it."""
         if job.attempt <= retries:
-            delay = _backoff_delay(job.attempt, backoff_seconds)
+            delay = _backoff_delay(
+                last_delay.get(job.index, backoff_seconds), backoff_seconds
+            )
+            last_delay[job.index] = delay
             queued.append((time.monotonic() + delay, job.index, job.attempt + 1))
             if telemetry is not None:
                 telemetry.spec_retry(

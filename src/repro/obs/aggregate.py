@@ -257,16 +257,30 @@ def render_fleet_report(report: Dict[str, Any]) -> str:
 
 
 def deterministic_view(report: Dict[str, Any]) -> Dict[str, Any]:
-    """The report minus wall-clock and collector-presence fields.
+    """The report minus wall-clock and delivery-layer fields.
 
     Two sweeps of identical specs + seeds must agree on this view
-    exactly — the fleet determinism tests and the regression gate both
-    compare it.  ``telemetry`` is dropped alongside ``wall`` because it
-    reflects whether a collector was attached, not what was simulated.
+    exactly — the fleet determinism tests, the regression gate and the
+    sweep-service chaos gate all compare it.  ``telemetry`` is dropped
+    alongside ``wall`` because it reflects whether a collector was
+    attached, not what was simulated.  ``retried`` and the per-row
+    ``attempts`` counts are dropped for the same reason: how many times
+    the delivery layer had to re-run a spec (worker killed, lease
+    expired, transient failure) is an execution artefact — the computed
+    results must not depend on it.
     """
     view = dict(report)
     view.pop("wall", None)
     view.pop("telemetry", None)
+    view.pop("retried", None)
+    for key in ("runs", "failures"):
+        entries = view.get(key)
+        if isinstance(entries, list):
+            view[key] = [
+                {k: v for k, v in entry.items() if k != "attempts"}
+                if isinstance(entry, Mapping) else entry
+                for entry in entries
+            ]
     return view
 
 

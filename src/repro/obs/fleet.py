@@ -64,6 +64,7 @@ class FleetTelemetry:
         progress: bool = False,
         stream: Optional[TextIO] = None,
         heartbeat_seconds: Optional[float] = DEFAULT_HEARTBEAT_SECONDS,
+        context: Optional[Dict[str, Any]] = None,
     ) -> None:
         if heartbeat_seconds is not None and heartbeat_seconds <= 0:
             raise ValueError(
@@ -71,6 +72,10 @@ class FleetTelemetry:
                 f"got {heartbeat_seconds}"
             )
         self.heartbeat_seconds = heartbeat_seconds
+        #: Static fields stamped onto every record — the sweep service
+        #: uses this to tag each per-shard log with its shard id, worker
+        #: and claim attempt, so merged logs stay attributable.
+        self.context = dict(context or {})
         self.progress = progress
         self._stream = stream if stream is not None else sys.stderr
         self._lock = threading.Lock()
@@ -88,8 +93,10 @@ class FleetTelemetry:
     # -- core emission --------------------------------------------------
 
     def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
-        """Record one structured event (adds the wall-clock ``t``)."""
-        record: Dict[str, Any] = {"event": event, **fields, "t": time.time()}
+        """Record one structured event (adds ``context`` and wall ``t``)."""
+        record: Dict[str, Any] = {
+            "event": event, **self.context, **fields, "t": time.time(),
+        }
         with self._lock:
             self._events.append(record)
             if self._log is not None:

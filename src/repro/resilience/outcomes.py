@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import uuid
 from dataclasses import asdict, dataclass, is_dataclass
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
@@ -125,6 +127,48 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
     return SimulationResult(**data)
 
 
+def outcome_to_dict(
+    outcome: RunOutcome, include_result: bool = False
+) -> Dict[str, Any]:
+    """A JSON-able view of one outcome (for sweep-service records).
+
+    The result itself is omitted by default: service shards persist
+    results in the shared :class:`CheckpointStore` (keyed by spec
+    content), so outcome records only need the verdict and error data.
+    """
+    data: Dict[str, Any] = {
+        "index": outcome.index,
+        "spec_summary": outcome.spec_summary,
+        "status": outcome.status,
+        "error": outcome.error,
+        "error_type": outcome.error_type,
+        "traceback": outcome.traceback,
+        "attempts": outcome.attempts,
+        "elapsed_seconds": outcome.elapsed_seconds,
+        "from_checkpoint": outcome.from_checkpoint,
+    }
+    if include_result and outcome.result is not None:
+        data["result"] = result_to_dict(outcome.result)
+    return data
+
+
+def outcome_from_dict(data: Mapping[str, Any]) -> RunOutcome:
+    """Rebuild a :class:`RunOutcome` from :func:`outcome_to_dict` output."""
+    result = data.get("result")
+    return RunOutcome(
+        index=int(data["index"]),
+        spec_summary=data["spec_summary"],
+        status=data["status"],
+        result=result_from_dict(result) if result is not None else None,
+        error=data.get("error"),
+        error_type=data.get("error_type"),
+        traceback=data.get("traceback"),
+        attempts=int(data.get("attempts", 1)),
+        elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        from_checkpoint=bool(data.get("from_checkpoint", False)),
+    )
+
+
 class CheckpointStore:
     """A directory of completed-job results, keyed by spec content.
 
@@ -165,7 +209,15 @@ class CheckpointStore:
             "result": result_to_dict(result),
         }
         # Write-then-rename so an interrupt mid-write never leaves a
-        # half-checkpoint that poisons the next resume.
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload))
-        tmp.replace(path)
+        # half-checkpoint that poisons the next resume.  The temp name
+        # must be unique per writer: two workers persisting the same
+        # spec concurrently (a re-leased shard racing its presumed-dead
+        # owner) would otherwise tear each other's write through the
+        # shared `.tmp` name.  fsync before the rename so a crash right
+        # after the replace can't surface an empty file.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)

@@ -336,3 +336,77 @@ def test_inrun_checkpointing_does_not_perturb_results(tmp_path):
     )
     assert outcomes[0].ok
     assert _fingerprint(outcomes[0].result) == want
+
+
+# ----------------------------------------------------------------------
+# Retry backoff: decorrelated jitter
+# ----------------------------------------------------------------------
+
+
+def test_backoff_delay_stays_within_jitter_bounds():
+    import random as random_module
+
+    from repro.experiments.runner import _backoff_delay
+
+    rng = random_module.Random(7)
+    base, cap = 0.25, 30.0
+    previous = base
+    delays = []
+    for _ in range(500):
+        delay = _backoff_delay(previous, base, cap=cap, rng=rng)
+        assert base <= delay <= cap
+        assert delay <= max(base, previous * 3.0)
+        delays.append(delay)
+        previous = delay
+    # Jittered, not lockstep: consecutive failures must not all share
+    # one deterministic schedule (draws at the cap legitimately repeat).
+    uncapped = [delay for delay in delays if delay < cap]
+    assert len({round(delay, 9) for delay in uncapped}) == len(uncapped)
+    # Growth: successive draws reach well beyond the base on average.
+    assert max(delays) > 10 * base
+
+
+def test_backoff_delay_respects_the_cap():
+    from repro.experiments.runner import _backoff_delay
+
+    assert _backoff_delay(1e9, 0.25, cap=30.0) == 30.0
+
+
+# ----------------------------------------------------------------------
+# CheckpointStore: concurrent writers never tear a result file
+# ----------------------------------------------------------------------
+
+
+def test_checkpoint_store_concurrent_writers_never_tear(tmp_path):
+    import threading
+
+    from repro.resilience.outcomes import CheckpointStore
+
+    spec = _good_spec()
+    outcome = run_many_resilient([spec], checkpoint=str(tmp_path))[0]
+    assert outcome.ok
+    store = CheckpointStore(str(tmp_path))
+    result = outcome.result
+
+    # A re-leased shard racing its presumed-dead previous owner: many
+    # writers persist the same spec at once.  Every interleaving must
+    # leave a loadable result and no leftover temp files.
+    errors = []
+
+    def writer():
+        try:
+            for _ in range(20):
+                store.store(spec, result)
+        except Exception as exc:  # pragma: no cover - the failure mode
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    loaded = store.load(spec)
+    assert loaded is not None
+    assert _fingerprint(loaded) == _fingerprint(result)
+    assert not list(tmp_path.glob("*.tmp"))

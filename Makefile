@@ -1,7 +1,8 @@
 # Developer conveniences for the repro package.
 
-.PHONY: install test bench perf event-core figures quicktest faults trace \
-	overhead fleet fleet-bench bench-check checkpoint service chaos clean
+.PHONY: install test bench perf event-core figures figures-bench \
+	paper-figures quicktest faults trace overhead fleet fleet-bench \
+	bench-check checkpoint service chaos clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -62,10 +63,24 @@ chaos:
 	rm -rf chaos-campaign
 	python -m repro service chaos chaos-campaign --seed 2018 --workers 2
 
-figures:
+# Text renderings of the paper tables/figures (quick terminal check).
+paper-figures:
 	python -m repro figure table1
 	python -m repro figure table2
 	python -m repro figure fig8
+
+# The figure/report pipeline: tiny metrics campaign -> Vega-Lite specs,
+# CSVs, and the self-contained HTML campaign report.
+figures:
+	rm -rf figures-campaign
+	python -m repro service init figures-campaign --workloads MVT,XSB \
+		--schedulers fcfs,simt --seeds 2 --metrics
+	python -m repro service run figures-campaign --workers 2
+	python -m repro figures figures-campaign
+	@echo "open figures-campaign/report/campaign_report.html"
+
+figures-bench:
+	python benchmarks/perf/figures_pipeline.py
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks

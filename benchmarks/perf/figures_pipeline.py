@@ -1,0 +1,164 @@
+"""Figure pipeline bench: determinism across worker counts + throughput.
+
+The figure registry's contract is that the rendered artifacts are a
+pure function of the sweep definition — the worker count, scheduling
+order, and merge path must never leak into a byte.  This bench runs
+the same fixed sweep at ``jobs=1`` and ``jobs=2``, pushes both reports
+through ``fleet_report → emit_figures → build_report_html``, and
+records, in ``BENCH_figures.json`` (unified envelope from
+:mod:`repro.stats.export`):
+
+* **determinism** — ``identical_figures_across_jobs`` /
+  ``identical_html_across_jobs`` booleans, compared byte-for-byte
+  across every emitted spec, CSV and manifest.  The regression gate
+  (``python -m repro bench-check``) holds both to ``exact``.
+* **registry** — ``figure_count`` (exact-gated: the registry must not
+  silently shrink) and how many figures were skipped on this sweep.
+* **render** — wall-clock cost of one full build+emit+HTML pass,
+  reported for trend-watching but not gated (render time is noise-
+  dominated at this scale; the determinism booleans are the contract).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/figures_pipeline.py [--quick]
+        [--output F] [--no-check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.runner import run_many_resilient
+from repro.obs.aggregate import fleet_report, sweep_specs
+from repro.obs.figures import CampaignData, build_figures, emit_figures, figure_names
+from repro.obs.report import build_report_html
+from repro.stats.export import write_bench_report
+
+#: The fixed sweep.  --metrics on, so the latency-CDF figure (the only
+#: conditional one) is exercised and counted.
+SWEEP_WORKLOADS = ("MVT", "XSB")
+SWEEP_SCHEDULERS = ("fcfs", "simt")
+SWEEP_SEEDS = range(2)
+SWEEP_SCALE = 0.1
+SWEEP_WAVEFRONTS = 8
+
+
+def _sweep_report(jobs):
+    specs = sweep_specs(
+        SWEEP_WORKLOADS,
+        SWEEP_SCHEDULERS,
+        SWEEP_SEEDS,
+        scale=SWEEP_SCALE,
+        num_wavefronts=SWEEP_WAVEFRONTS,
+        metrics=True,
+    )
+    outcomes = run_many_resilient(specs, jobs=jobs)
+    return fleet_report(specs, outcomes)
+
+
+def _emit_all(report, out_dir):
+    """One full pipeline pass; returns (artifact bytes, html, seconds)."""
+    started = time.perf_counter()
+    data = CampaignData.from_reports([("bench", report)])
+    manifest = emit_figures(data, out_dir)
+    figures, skipped = build_figures(data)
+    html = build_report_html([("bench", report)], figures, skipped)
+    elapsed = time.perf_counter() - started
+    artifacts = {
+        path.name: path.read_bytes() for path in sorted(Path(out_dir).iterdir())
+    }
+    return artifacts, html, elapsed, manifest, skipped
+
+
+def measure(quick):
+    reports = {jobs: _sweep_report(jobs) for jobs in (1, 2)}
+    outputs = {}
+    render_seconds = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for jobs, report in reports.items():
+            out_dir = Path(tmp) / f"jobs{jobs}"
+            artifacts, html, elapsed, manifest, skipped = _emit_all(
+                report, out_dir
+            )
+            outputs[jobs] = (artifacts, html)
+            render_seconds.append(elapsed)
+            last_manifest, last_skipped = manifest, skipped
+
+    identical_figures = outputs[1][0] == outputs[2][0]
+    identical_html = outputs[1][1] == outputs[2][1]
+    return {
+        "determinism": {
+            "identical_figures_across_jobs": identical_figures,
+            "identical_html_across_jobs": identical_html,
+        },
+        "registry": {
+            "figure_count": len(figure_names()),
+            "figures_emitted": len(last_manifest["figures"]),
+            "figures_skipped": len(last_skipped),
+        },
+        "render": {
+            "seconds_per_pass": round(
+                sum(render_seconds) / len(render_seconds), 4
+            ),
+            "html_bytes": len(outputs[1][1]),
+        },
+        "params": {
+            "workloads": list(SWEEP_WORKLOADS),
+            "schedulers": list(SWEEP_SCHEDULERS),
+            "seeds": len(SWEEP_SEEDS),
+            "scale": SWEEP_SCALE,
+            "num_wavefronts": SWEEP_WAVEFRONTS,
+            "quick": quick,
+        },
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="accepted for CLI symmetry with the other benches; the "
+             "determinism sweep is already CI-sized and never shrinks",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(
+            Path(__file__).resolve().parents[2] / "BENCH_figures.json"
+        ),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="record without asserting the determinism booleans",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure(args.quick)
+    document = write_bench_report("figures", report, args.output)
+    print(json.dumps(document, indent=2))
+
+    if args.no_check:
+        return 0
+    failures = []
+    determinism = report["determinism"]
+    if not determinism["identical_figures_across_jobs"]:
+        failures.append("figure artifacts differ between jobs=1 and jobs=2")
+    if not determinism["identical_html_across_jobs"]:
+        failures.append("HTML report differs between jobs=1 and jobs=2")
+    if report["registry"]["figures_emitted"] < 8:
+        failures.append(
+            f"only {report['registry']['figures_emitted']} figures emitted "
+            "(acceptance floor is 8)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -311,24 +311,185 @@ def _cmd_fleet_report(args: argparse.Namespace) -> int:
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     import json
 
-    from repro.obs.regress import check_benches, render_check
+    from repro.obs.regress import (
+        EXIT_OK,
+        EXIT_REGRESSION,
+        check_benches,
+        render_check,
+    )
 
     report = check_benches(
         baseline_dir=args.baseline_dir, current_dir=args.current_dir
     )
+    # The exit-code contract (see repro.obs.regress): 0 = gate passed
+    # (missing benches included), 1 = at least one regression.
+    # --warn-only forces 0 but the JSON keeps the honest verdict.
+    exit_code = EXIT_OK if report["ok"] else EXIT_REGRESSION
+    report["exit_code"] = exit_code
+    report["warn_only"] = bool(args.warn_only)
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        rendered_json = json.dumps(report, indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            print(rendered_json, end="")
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(rendered_json)
     rendered = render_check(report)
-    if not args.quiet:
+    if not args.quiet and args.json != "-":
         print(rendered)
     if not report["ok"]:
         if args.quiet:
             print(rendered, file=sys.stderr)
         if args.warn_only:
             print("bench-check: regressions found (warn-only)", file=sys.stderr)
-            return 0
-        return 1
+            return EXIT_OK
+        return exit_code
+    return EXIT_OK
+
+
+def _gather_campaign_inputs(paths):
+    """Resolve CLI inputs into labelled reports + manifests (unique labels)."""
+    from repro.obs.figures import load_campaign_input
+
+    reports = []
+    manifests = {}
+    seen = {}
+    for raw in paths:
+        label, report, manifest = load_campaign_input(raw)
+        seen[label] = seen.get(label, 0) + 1
+        if seen[label] > 1:
+            label = f"{label}-{seen[label]}"
+        reports.append((label, report))
+        manifests[label] = manifest
+    return reports, manifests
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.figures import (
+        FIGURES,
+        CampaignData,
+        build_figures,
+        emit_figures,
+        figure_names,
+    )
+    from repro.obs.report import build_report_html
+
+    if args.list:
+        for name in figure_names():
+            print(f"{name:24s}  {FIGURES[name].title}")
+        return 0
+    if not args.inputs:
+        print(
+            "figures: at least one campaign dir or fleet_report.json "
+            "is required (or --list)",
+            file=sys.stderr,
+        )
+        return 2
+    reports, manifests = _gather_campaign_inputs(args.inputs)
+    data = CampaignData.from_reports(reports, baseline=args.baseline)
+    if args.out:
+        out_dir = Path(args.out)
+    else:
+        first = Path(args.inputs[0])
+        out_dir = (
+            first / "report" / "figures" if first.is_dir() else Path("figures")
+        )
+    names = args.only.split(",") if args.only else None
+    manifest = emit_figures(data, out_dir, names=names)
+    gate = None
+    if not args.no_gate:
+        from repro.obs.regress import check_benches
+
+        gate = check_benches(
+            baseline_dir=args.baseline_dir, current_dir=args.current_dir
+        )
+    html_path = None
+    if not args.no_html:
+        figures, skipped = build_figures(data, names)
+        html_path = (
+            Path(args.html) if args.html else out_dir / "campaign_report.html"
+        )
+        html_path.write_text(
+            build_report_html(
+                reports, figures, skipped, gate=gate, manifests=manifests
+            )
+        )
+    if not args.quiet:
+        written = manifest["figures"]
+        print(
+            f"wrote {len(written)} figure(s) to {out_dir} "
+            f"({len(manifest['skipped'])} skipped)"
+        )
+        for entry in written:
+            print(f"  {entry['spec']}  [{entry['rows']} rows]")
+        for name, reason in sorted(manifest["skipped"].items()):
+            print(f"  skipped {name}: {reason}")
+        if html_path is not None:
+            print(f"wrote {html_path}")
+        if gate is not None and not gate["ok"]:
+            print(
+                f"bench gate FAILED inside the report "
+                f"({gate['regressions']} regression(s))",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    if args.serve:
+        if len(args.inputs) != 1:
+            print(
+                "report --serve watches exactly one campaign dir or "
+                "fleet log",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.obs.live import serve_dashboard
+
+        server = serve_dashboard(
+            args.inputs[0], host=args.host, port=args.port
+        )
+        host, port = server.server_address[:2]
+        print(
+            f"live dashboard: http://{host}:{port}/ "
+            f"(watching {args.inputs[0]}, ctrl-c to stop)"
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+        return 0
+
+    if not args.inputs:
+        print(
+            "report: at least one campaign dir or fleet_report.json "
+            "is required",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.obs.report import render_campaign_report
+
+    reports, manifests = _gather_campaign_inputs(args.inputs)
+    gate = None
+    if not args.no_gate:
+        from repro.obs.regress import check_benches
+
+        gate = check_benches(
+            baseline_dir=args.baseline_dir, current_dir=args.current_dir
+        )
+    html = render_campaign_report(
+        reports, gate=gate, manifests=manifests, baseline=args.baseline
+    )
+    out_path = Path(args.out)
+    out_path.write_text(html)
+    if not args.quiet:
+        print(f"wrote {out_path}")
     return 0
 
 
@@ -805,7 +966,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory holding the current BENCH_*.json files",
     )
     bench_check.add_argument(
-        "--json", default=None, help="also write the gate report as JSON here"
+        "--json", default=None,
+        help="also write the gate report as JSON here ('-' for stdout); "
+        "the report carries the exit_code the process returns",
     )
     bench_check.add_argument(
         "--warn-only", action="store_true",
@@ -871,6 +1034,78 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name", help="e.g. fig8, fig13a, table2")
     _add_run_args(figure)
     figure.set_defaults(func=_cmd_figure)
+
+    figures = sub.add_parser(
+        "figures",
+        help="render the figure registry (Vega-Lite + CSV) from fleet reports",
+    )
+    figures.add_argument(
+        "inputs", nargs="*",
+        help="campaign dir(s) (merged with `service merge`) and/or "
+        "fleet_report.json file(s); several inputs plot side by side",
+    )
+    figures.add_argument(
+        "--out", default=None,
+        help="output directory (default: <campaign>/report/figures)",
+    )
+    figures.add_argument(
+        "--only", default=None,
+        help="comma-separated figure names (default: every registered figure)",
+    )
+    figures.add_argument(
+        "--list", action="store_true", help="list registered figures and exit"
+    )
+    figures.add_argument(
+        "--html", default=None,
+        help="HTML campaign report path (default: <out>/campaign_report.html)",
+    )
+    figures.add_argument(
+        "--no-html", action="store_true",
+        help="emit only the specs/CSVs, skip the HTML report",
+    )
+    figures.add_argument(
+        "--no-gate", action="store_true",
+        help="skip the bench-check verdict section in the HTML report",
+    )
+    figures.add_argument(
+        "--baseline", default=None,
+        help="override the baseline scheduler (default: the report's)",
+    )
+    figures.add_argument("--baseline-dir", default="benchmarks/baselines")
+    figures.add_argument("--current-dir", default=".")
+    figures.add_argument("--quiet", action="store_true")
+    figures.set_defaults(func=_cmd_figures)
+
+    report = sub.add_parser(
+        "report",
+        help="HTML campaign report, or --serve for the live sweep dashboard",
+    )
+    report.add_argument(
+        "inputs", nargs="*",
+        help="campaign dir(s) / fleet_report.json file(s); with --serve, "
+        "one campaign dir or fleet telemetry JSONL to watch",
+    )
+    report.add_argument(
+        "--out", default="campaign_report.html",
+        help="HTML output path (static mode)",
+    )
+    report.add_argument(
+        "--serve", action="store_true",
+        help="serve a live dashboard tailing the campaign's telemetry logs",
+    )
+    report.add_argument("--host", default="127.0.0.1")
+    report.add_argument(
+        "--port", type=int, default=8377, help="dashboard port (0 = ephemeral)"
+    )
+    report.add_argument("--no-gate", action="store_true")
+    report.add_argument(
+        "--baseline", default=None,
+        help="override the baseline scheduler (default: the report's)",
+    )
+    report.add_argument("--baseline-dir", default="benchmarks/baselines")
+    report.add_argument("--current-dir", default=".")
+    report.add_argument("--quiet", action="store_true")
+    report.set_defaults(func=_cmd_report)
 
     qos = sub.add_parser(
         "qos", help="co-run two workloads and compare QoS across schedulers"

@@ -30,6 +30,7 @@ import statistics
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.metrics import MetricsRegistry
+from repro.stats.formatting import format_count, format_number, format_ratio
 from repro.stats.metrics import geometric_mean
 
 #: Report identity, mirrored by the loader and the regression gate.
@@ -119,14 +120,27 @@ def fleet_report(
         cycles_by_case.setdefault((result.workload, seed), {})[
             result.scheduler
         ] = result.total_cycles
+        # One tidy row per run.  Beyond the original identity/cycle
+        # columns, every quantity a registered figure draws on rides
+        # along (stalls, walk work, latency shape, and the sweep-axis
+        # columns scale/wavefronts), so the figure pipeline can rebuild
+        # the paper's charts from the report alone.
         rows.append(
             {
                 "workload": result.workload,
                 "scheduler": result.scheduler,
                 "seed": seed,
                 "attempts": outcome.attempts,
+                "scale": float(spec.get("scale", 0.0)),
+                "wavefronts": int(spec.get("num_wavefronts", 0)),
                 "total_cycles": result.total_cycles,
+                "stall_cycles": result.stall_cycles,
                 "walks_dispatched": result.walks_dispatched,
+                "walk_memory_accesses": result.walk_memory_accesses,
+                "interleaved_fraction": round(result.interleaved_fraction, 6),
+                "first_walk_latency": round(result.first_walk_latency, 6),
+                "last_walk_latency": round(result.last_walk_latency, 6),
+                "latency_gap": round(result.latency_gap, 6),
             }
         )
 
@@ -285,7 +299,13 @@ def deterministic_view(report: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def fleet_markdown(report: Dict[str, Any]) -> str:
-    """Render the fleet report as a self-contained markdown summary."""
+    """Render the fleet report as a self-contained markdown summary.
+
+    Every number goes through :mod:`repro.stats.formatting` — one
+    fixed-point formatter for all rendered surfaces — so a tiny geomean
+    stdev renders as ``0.000001``, never ``1e-06``, and the markdown is
+    byte-identical across platforms for identical reports.
+    """
     lines: List[str] = []
     lines.append("# Fleet report")
     lines.append("")
@@ -307,15 +327,16 @@ def fleet_markdown(report: Dict[str, Any]) -> str:
                 lines.append(f"| {scheduler} | — | — | — | — | 0 |")
                 continue
             lines.append(
-                f"| {scheduler} | {stats['geomean']:.3f} "
-                f"| {stats['min']:.3f} | {stats['max']:.3f} "
-                f"| {stats['stdev']:.3f} | {stats['pairs']} |"
+                f"| {scheduler} | {format_ratio(stats['geomean'])} "
+                f"| {format_ratio(stats['min'])} "
+                f"| {format_ratio(stats['max'])} "
+                f"| {format_number(stats['stdev'])} | {stats['pairs']} |"
             )
         for scheduler, stats in sorted(speedups.items()):
             per_workload = stats.get("per_workload", {})
             if per_workload:
                 rendered = ", ".join(
-                    f"{workload} {value:.3f}"
+                    f"{workload} {format_ratio(value)}"
                     for workload, value in sorted(per_workload.items())
                 )
                 lines.append("")
@@ -330,9 +351,10 @@ def fleet_markdown(report: Dict[str, Any]) -> str:
         for name, entry in sorted(groups.items()):
             cycles = entry["total_cycles"]
             lines.append(
-                f"| {name} | {entry['runs']} | {cycles['mean']:,.0f} "
-                f"| {cycles['min']:,.0f} | {cycles['max']:,.0f} "
-                f"| {cycles['stdev']:,.1f} |"
+                f"| {name} | {entry['runs']} | {format_count(cycles['mean'])} "
+                f"| {format_count(cycles['min'])} "
+                f"| {format_count(cycles['max'])} "
+                f"| {format_number(cycles['stdev'], thousands=True)} |"
             )
     failures = report.get("failures", [])
     if failures:

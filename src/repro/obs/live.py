@@ -1,0 +1,410 @@
+"""Live sweep dashboard: tail fleet telemetry JSONL, serve progress.
+
+:class:`~repro.obs.fleet.FleetTelemetry` already streams every sweep
+event to a JSONL log — ``repro fleet-report --fleet-log`` writes one
+file, a ``repro service`` campaign writes one per shard claim under
+``shards/``.  This module turns those append-only logs into a live
+view with no dependencies beyond the stdlib:
+
+* :func:`read_fleet_events` — a tolerant JSONL tailer (a partially
+  written last line, the normal state of a log being appended to, is
+  skipped rather than fatal);
+* :func:`progress_snapshot` — a **pure** reduction of events into the
+  dashboard state: per-spec progress, running specs with heartbeat
+  staleness, retry/timeout tallies, throughput and ETA.  Pure means
+  the tests feed synthetic events and a fixed ``now`` and assert on
+  the exact snapshot — the HTTP layer adds nothing but transport;
+* :func:`serve_dashboard` — ``http.server.ThreadingHTTPServer``
+  serving a self-refreshing page at ``/`` and the snapshot at
+  ``/data.json``.
+
+Start it against a running campaign::
+
+    python -m repro report --serve out/campaign --port 8080
+
+The server re-reads the logs on every poll, so it can be attached and
+detached at any point in the campaign's life, including after a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+#: A worker heartbeat older than this is flagged stale — the cadence in
+#: the runner is seconds, so a minute of silence means a wedged or dead
+#: worker, not a slow one.
+STALE_HEARTBEAT_SECONDS = 60.0
+
+_FINAL_EVENTS = ("spec_finished",)
+
+
+def discover_logs(path: Union[str, Path]) -> List[Path]:
+    """Every telemetry JSONL under a campaign dir (or the file itself).
+
+    A campaign directory contributes each shard's claim logs from
+    ``shards/``; a plain path is taken as one fleet log.  Sorted for
+    deterministic event ordering between equal timestamps.
+    """
+    path = Path(path)
+    if path.is_dir():
+        shards = path / "shards"
+        root = shards if shards.is_dir() else path
+        return sorted(candidate for candidate in root.glob("*.jsonl"))
+    return [path]
+
+
+def read_fleet_events(paths: Sequence[Union[str, Path]]) -> List[Dict[str, Any]]:
+    """Parse telemetry JSONL logs into one time-ordered event list.
+
+    Each event gains a ``source`` field (the log's stem) so per-shard
+    spec indices never collide.  Unparseable lines — almost always the
+    half-flushed tail of a live log — are dropped silently; the next
+    poll will see them whole.
+    """
+    events: List[Dict[str, Any]] = []
+    for path in paths:
+        path = Path(path)
+        if not path.exists():
+            continue
+        source = path.stem
+        for line in path.read_text(errors="replace").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "event" in record:
+                record.setdefault("source", source)
+                events.append(record)
+    events.sort(key=lambda record: (record.get("t", 0.0), record.get("source", "")))
+    return events
+
+
+def progress_snapshot(
+    events: Sequence[Dict[str, Any]],
+    total_specs: Optional[int] = None,
+    now: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Reduce telemetry events to the current campaign state.
+
+    ``total_specs`` overrides the spec count (a service campaign knows
+    it from the manifest; per-shard ``sweep_started`` totals are summed
+    otherwise).  ``now`` anchors staleness/ETA math; it defaults to the
+    newest event timestamp so a snapshot of a finished log is stable.
+    """
+    if now is None:
+        now = max((record.get("t", 0.0) for record in events), default=0.0)
+
+    #: source -> latest sweep_started record (a resumed shard restarts
+    #: its sweep; the latest announcement wins).
+    sweeps: Dict[str, Dict[str, Any]] = {}
+    #: (source, index) -> latest spec_finished record.
+    finished: Dict[Tuple[str, int], Dict[str, Any]] = {}
+    #: (source, index) -> latest spec_started record.
+    started: Dict[Tuple[str, int], Dict[str, Any]] = {}
+    #: (source, index) -> latest heartbeat record.
+    heartbeats: Dict[Tuple[str, int], Dict[str, Any]] = {}
+    retries = 0
+    timeouts = 0
+    sweep_done = set()
+
+    for record in events:
+        kind = record.get("event")
+        source = record.get("source", "")
+        key = (source, int(record.get("index", -1)))
+        if kind == "sweep_started":
+            sweeps[source] = record
+        elif kind == "spec_started":
+            started[key] = record
+        elif kind == "heartbeat":
+            heartbeats[key] = record
+        elif kind == "spec_retry":
+            retries += 1
+        elif kind == "spec_timeout":
+            timeouts += 1
+        elif kind == "spec_finished":
+            finished[key] = record
+        elif kind == "sweep_finished":
+            sweep_done.add(source)
+
+    if total_specs is None:
+        total_specs = sum(
+            int(record.get("total", 0)) for record in sweeps.values()
+        ) or None
+
+    status_counts: Dict[str, int] = {}
+    durations: List[float] = []
+    recent: List[Dict[str, Any]] = []
+    for key, record in finished.items():
+        status = str(record.get("status", "unknown"))
+        status_counts[status] = status_counts.get(status, 0) + 1
+        elapsed = record.get("elapsed_seconds")
+        if isinstance(elapsed, (int, float)) and elapsed > 0:
+            durations.append(float(elapsed))
+        recent.append(
+            {
+                "source": key[0],
+                "index": key[1],
+                "spec": record.get("spec"),
+                "status": status,
+                "attempts": record.get("attempts"),
+                "elapsed_seconds": elapsed,
+                "t": record.get("t"),
+            }
+        )
+    recent.sort(key=lambda row: (-(row["t"] or 0.0), row["source"], row["index"]))
+
+    running: List[Dict[str, Any]] = []
+    for key, record in sorted(started.items()):
+        if key in finished:
+            continue
+        beat = heartbeats.get(key)
+        beat_age = (now - beat["t"]) if beat and "t" in beat else None
+        start_age = (now - record["t"]) if "t" in record else None
+        running.append(
+            {
+                "source": key[0],
+                "index": key[1],
+                "spec": record.get("spec"),
+                "attempt": record.get("attempt"),
+                "running_seconds": round(start_age, 1)
+                if start_age is not None else None,
+                "pid": beat.get("pid") if beat else None,
+                "heartbeat_age_seconds": round(beat_age, 1)
+                if beat_age is not None else None,
+                "stale": bool(
+                    beat_age is not None
+                    and beat_age > STALE_HEARTBEAT_SECONDS
+                ),
+            }
+        )
+
+    done = len(finished)
+    eta_seconds: Optional[float] = None
+    if total_specs and durations and done < total_specs:
+        mean = sum(durations) / len(durations)
+        # Live specs drain in parallel; the observed concurrency is the
+        # honest divisor (a finished campaign never reaches this branch).
+        lanes = max(1, len(running)) if running else max(
+            1, sum(int(record.get("jobs", 1)) for record in sweeps.values())
+        )
+        eta_seconds = round(mean * (total_specs - done) / lanes, 1)
+
+    return {
+        "format": "repro-live-progress",
+        "version": 1,
+        "now": now,
+        "total_specs": total_specs,
+        "done": done,
+        "status_counts": dict(sorted(status_counts.items())),
+        "retries": retries,
+        "timeouts": timeouts,
+        "running": running,
+        "recent": recent[:20],
+        "stale_workers": sum(1 for row in running if row["stale"]),
+        "sweeps_finished": len(sweep_done),
+        "sources": len(sweeps) or len({r.get("source") for r in events if r}),
+        "eta_seconds": eta_seconds,
+        "complete": bool(total_specs and done >= total_specs),
+    }
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro — live sweep</title>
+<style>
+:root { --surface: #fcfcfb; --ink: #0b0b0b; --ink-2: #52514e;
+        --line: #e8e7e3; --accent: #2a78d6; --bad: #e34948; }
+@media (prefers-color-scheme: dark) {
+  :root { --surface: #1a1a19; --ink: #f2f1ef; --ink-2: #b4b2ad;
+          --line: #3a3936; }
+}
+body { background: var(--surface); color: var(--ink);
+       font: 15px/1.5 system-ui, sans-serif;
+       margin: 2rem auto; max-width: 60rem; padding: 0 1rem; }
+.tiles { display: flex; flex-wrap: wrap; gap: 1rem; }
+.tile { border: 1px solid var(--line); border-radius: 6px;
+        min-width: 8rem; padding: 0.6rem 1rem; }
+.tile b { display: block; font-size: 1.6rem; }
+.tile span { color: var(--ink-2); font-size: 0.85rem; }
+.bar { background: var(--line); border-radius: 4px; height: 10px;
+       margin: 1.2rem 0; overflow: hidden; }
+.bar div { background: var(--accent); height: 100%; width: 0; }
+table { border-collapse: collapse; width: 100%; }
+th, td { border-bottom: 1px solid var(--line); font-size: 0.9rem;
+         padding: 0.25rem 0.75rem 0.25rem 0; text-align: left; }
+.stale { color: var(--bad); font-weight: 600; }
+h2 { margin-top: 2rem; }
+#meta { color: var(--ink-2); font-size: 0.85rem; }
+</style>
+</head>
+<body>
+<h1>Live sweep progress</h1>
+<p id="meta">waiting for first poll…</p>
+<div class="tiles" id="tiles"></div>
+<div class="bar"><div id="fill"></div></div>
+<h2>Running</h2>
+<table id="running"><thead><tr>
+<th>shard</th><th>#</th><th>spec</th><th>attempt</th><th>running</th>
+<th>pid</th><th>heartbeat</th></tr></thead><tbody></tbody></table>
+<h2>Recent finishes</h2>
+<table id="recent"><thead><tr>
+<th>shard</th><th>#</th><th>spec</th><th>status</th><th>attempts</th>
+<th>elapsed</th></tr></thead><tbody></tbody></table>
+<script>
+function tile(value, label) {
+  return '<div class="tile"><b>' + value + '</b><span>' + label +
+         '</span></div>';
+}
+function esc(value) {
+  return String(value == null ? "—" : value).replace(/[&<>]/g, function (c) {
+    return {"&": "&amp;", "<": "&lt;", ">": "&gt;"}[c];
+  });
+}
+function fmtSeconds(s) {
+  if (s == null) return "—";
+  if (s < 120) return s.toFixed(0) + "s";
+  return (s / 60).toFixed(1) + "m";
+}
+async function poll() {
+  try {
+    var data = await (await fetch("data.json")).json();
+  } catch (err) {
+    document.getElementById("meta").textContent = "poll failed: " + err;
+    return;
+  }
+  var total = data.total_specs;
+  var pct = total ? Math.round(100 * data.done / total) : 0;
+  document.getElementById("fill").style.width = pct + "%";
+  document.getElementById("meta").textContent =
+    (total ? data.done + "/" + total + " specs (" + pct + "%)"
+           : data.done + " specs finished") +
+    (data.eta_seconds != null ? " — ETA " + fmtSeconds(data.eta_seconds) : "") +
+    (data.complete ? " — complete" : "");
+  var tiles =
+    tile(data.done, "finished") +
+    tile(data.running.length, "running") +
+    tile(data.retries, "retries") +
+    tile(data.timeouts, "timeouts") +
+    tile(data.stale_workers, "stale workers");
+  for (var status in data.status_counts) {
+    tiles += tile(data.status_counts[status], status);
+  }
+  document.getElementById("tiles").innerHTML = tiles;
+  document.querySelector("#running tbody").innerHTML = data.running.map(
+    function (row) {
+      var beat = row.heartbeat_age_seconds == null ? "—"
+        : fmtSeconds(row.heartbeat_age_seconds) + " ago";
+      return "<tr><td>" + esc(row.source) + "</td><td>" + esc(row.index) +
+        "</td><td>" + esc(row.spec) + "</td><td>" + esc(row.attempt) +
+        "</td><td>" + fmtSeconds(row.running_seconds) +
+        "</td><td>" + esc(row.pid) + "</td><td" +
+        (row.stale ? ' class="stale"' : "") + ">" + beat + "</td></tr>";
+    }).join("");
+  document.querySelector("#recent tbody").innerHTML = data.recent.map(
+    function (row) {
+      return "<tr><td>" + esc(row.source) + "</td><td>" + esc(row.index) +
+        "</td><td>" + esc(row.spec) + "</td><td>" + esc(row.status) +
+        "</td><td>" + esc(row.attempts) + "</td><td>" +
+        fmtSeconds(row.elapsed_seconds) + "</td></tr>";
+    }).join("");
+}
+poll();
+setInterval(poll, 2000);
+</script>
+</body>
+</html>
+"""
+
+
+class _DashboardHandler(BaseHTTPRequestHandler):
+    """Serves the static page and the freshly recomputed snapshot."""
+
+    server: "DashboardServer"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path in ("/", "/index.html"):
+            self._respond(200, "text/html; charset=utf-8", _PAGE)
+        elif self.path in ("/data.json", "/data"):
+            body = json.dumps(self.server.snapshot(), sort_keys=True)
+            self._respond(200, "application/json", body)
+        else:
+            self._respond(404, "text/plain; charset=utf-8", "not found\n")
+
+    def _respond(self, code: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # the dashboard is the log; don't spam the terminal
+
+
+class DashboardServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that re-reads the telemetry logs per poll."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        watch: Union[str, Path],
+        total_specs: Optional[int] = None,
+    ) -> None:
+        super().__init__(address, _DashboardHandler)
+        self.watch = Path(watch)
+        self.total_specs = total_specs
+
+    def snapshot(self) -> Dict[str, Any]:
+        events = read_fleet_events(discover_logs(self.watch))
+        return progress_snapshot(
+            events, total_specs=self.total_specs, now=time.time()
+        )
+
+
+def campaign_total_specs(campaign_dir: Union[str, Path]) -> Optional[int]:
+    """The authoritative spec count from a campaign manifest, if present."""
+    manifest_path = Path(campaign_dir) / "manifest.json"
+    if not manifest_path.exists():
+        return None
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError:
+        return None
+    spec_keys = manifest.get("spec_keys")
+    return len(spec_keys) if isinstance(spec_keys, list) else None
+
+
+def serve_dashboard(
+    watch: Union[str, Path],
+    host: str = "127.0.0.1",
+    port: int = 8377,
+    total_specs: Optional[int] = None,
+) -> DashboardServer:
+    """Bind the dashboard server (caller drives ``serve_forever``).
+
+    Returning the bound-but-idle server keeps this testable: tests bind
+    port 0, hit :meth:`DashboardServer.snapshot` or one request, and
+    shut down without threads outliving them.
+    """
+    if total_specs is None:
+        watch_path = Path(watch)
+        if watch_path.is_dir():
+            total_specs = campaign_total_specs(watch_path)
+    return DashboardServer((host, port), watch, total_specs=total_specs)

@@ -35,6 +35,18 @@ _DEPTH_BUCKETS: Tuple[Tuple[int, int], ...] = (
     (0, 0), (1, 4), (5, 16), (17, 64), (65, 256), (257, 4096),
 )
 
+#: Buckets for per-walk completion latency (cycles).  Log-spaced: walk
+#: latencies span PWC hits (~tens of cycles) to full four-level walks
+#: behind a contended DRAM queue (thousands).  The latency-CDF figure
+#: reads this histogram back via ``BucketHistogram.cdf_points``, and
+#: because the buckets are fixed the per-run histograms merge exactly
+#: across a sweep.
+WALK_LATENCY_BUCKETS: Tuple[Tuple[int, int], ...] = (
+    (0, 49), (50, 99), (100, 199), (200, 399), (400, 799),
+    (800, 1599), (1600, 3199), (3200, 6399), (6400, 12799),
+    (12800, 25599), (25600, 102399),
+)
+
 
 class Counter:
     """A monotonically increasing count."""
@@ -370,3 +382,13 @@ def finalize_standard_metrics(system, registry: MetricsRegistry) -> None:
     for walker in iommu.walkers:
         registry.counter("walker.busy_cycles").inc(walker.busy_cycles)
         registry.counter("walker.memory_accesses").inc(walker.memory_accesses)
+    # Per-walk completion latencies, bucketed for the latency-CDF
+    # figure.  Fed once at end of run from the instruction records (the
+    # same source as detail["walk_latency_percentiles"]), so the
+    # histogram is exact, not sampled.
+    latency_histogram = registry.histogram(
+        "walk.latency_cycles", WALK_LATENCY_BUCKETS
+    )
+    for record in system.gpu.instruction_records:
+        for latency in record.walk_latencies:
+            latency_histogram.add(latency)

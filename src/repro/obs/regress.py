@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.stats.export import load_bench_report
+from repro.stats.formatting import format_number
 
 #: bench name -> expected file name (repo root and baseline dir).
 BENCH_FILES: Dict[str, str] = {
@@ -40,7 +41,22 @@ BENCH_FILES: Dict[str, str] = {
     "tracing_overhead": "BENCH_tracing_overhead.json",
     "fleet": "BENCH_fleet.json",
     "event_core": "BENCH_event_core.json",
+    "figures": "BENCH_figures.json",
 }
+
+#: The ``python -m repro bench-check`` exit-code contract, stable for
+#: CI and the HTML report to consume:
+#:
+#: * ``EXIT_OK`` (0) — every watched metric within threshold.  Benches
+#:   *missing* on either side still exit 0 (reported as ``missing``),
+#:   so the gate can be adopted incrementally.
+#: * ``EXIT_REGRESSION`` (1) — at least one metric regressed.
+#:   ``--warn-only`` converts this to 0 at the process level while the
+#:   JSON report keeps the honest ``ok: false`` + ``exit_code: 1``.
+#:
+#: Usage errors surface as argparse's own exit 2.
+EXIT_OK = 0
+EXIT_REGRESSION = 1
 
 #: Default directory of committed baselines, relative to the repo root.
 DEFAULT_BASELINE_DIR = "benchmarks/baselines"
@@ -90,6 +106,11 @@ DEFAULT_METRICS: Tuple[MetricSpec, ...] = (
     # loop on a same-cycle-heavy stream.
     MetricSpec("event_core", "queue_ops.dense.speedup", "higher", 0.30),
     MetricSpec("event_core", "dispatch.batch_speedup", "higher", 0.30),
+    # Figure pipeline: specs/CSVs/HTML must stay byte-identical across
+    # worker counts, and the registry must not silently shrink.
+    MetricSpec("figures", "determinism.identical_figures_across_jobs", "exact"),
+    MetricSpec("figures", "determinism.identical_html_across_jobs", "exact"),
+    MetricSpec("figures", "registry.figure_count", "exact"),
 )
 
 #: Row statuses, in decreasing severity.
@@ -208,7 +229,11 @@ def render_check(report: Dict[str, Any]) -> str:
     lines: List[str] = []
     for row in report["rows"]:
         change = row.get("relative_change")
-        drift = f" ({change:+.1%})" if isinstance(change, float) else ""
+        drift = (
+            f" ({'+' if change >= 0 else ''}"
+            f"{format_number(change * 100, decimals=1)}%)"
+            if isinstance(change, float) else ""
+        )
         lines.append(
             f"{row['status']:>10s}  {row['metric']}  "
             f"baseline={_fmt(row['baseline'])} "
@@ -226,8 +251,9 @@ def render_check(report: Dict[str, Any]) -> str:
 
 
 def _fmt(value: Any) -> str:
-    if isinstance(value, float):
-        return f"{value:.4g}"
     if isinstance(value, dict):
         return f"<{len(value)} keys>"
-    return str(value)
+    # The stable fixed-point formatter: no scientific notation, so the
+    # rendered gate text is byte-identical across platforms (tiny drift
+    # values used to flip to "3e-07" under the old %.4g).
+    return format_number(value, decimals=4)

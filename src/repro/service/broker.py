@@ -361,11 +361,39 @@ def merge_campaign(
         render_fleet_report(deterministic_view(report)) + "\n"
     )
     markdown_path.write_text(fleet_markdown(report))
+    paths = {
+        "full": str(full_path),
+        "deterministic": str(deterministic_path),
+        "markdown": str(markdown_path),
+    }
+
+    # The figure pipeline and the HTML campaign report ride every merge:
+    # both are pure functions of the deterministic report + manifest, so
+    # they inherit the byte-identity guarantee for free.  (The bench
+    # gate is NOT run here — its verdicts depend on the invoking
+    # machine; `python -m repro figures --gate` adds them explicitly.)
+    from repro.obs.figures import CampaignData, build_figures, emit_figures
+    from repro.obs.report import build_report_html
+
+    label = campaign_dir.name or "campaign"
+    data = CampaignData.from_reports([(label, report)])
+    figures_dir = out_dir / "figures"
+    figure_manifest = emit_figures(data, figures_dir)
+    figures, skipped = build_figures(data)
+    html_path = out_dir / "campaign_report.html"
+    html_path.write_text(
+        build_report_html(
+            [(label, report)],
+            figures,
+            skipped,
+            manifests={label: manifest.as_dict()},
+        )
+    )
+    paths["figures"] = str(figures_dir)
+    paths["html"] = str(html_path)
+
     return {
         "report": report,
-        "paths": {
-            "full": str(full_path),
-            "deterministic": str(deterministic_path),
-            "markdown": str(markdown_path),
-        },
+        "paths": paths,
+        "figures": figure_manifest,
     }

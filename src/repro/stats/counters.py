@@ -91,6 +91,63 @@ class BucketHistogram:
         histogram.total = sum(histogram._counts) + histogram.out_of_range
         return histogram
 
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        """Estimated quantile values from the bucketed counts.
+
+        The true samples are gone — only per-bucket counts remain — so
+        each quantile is reconstructed by locating the bucket holding
+        the target rank and interpolating linearly inside it (samples
+        are assumed uniform within a bucket, the standard estimator for
+        pre-bucketed data).  Out-of-range samples are excluded: they
+        have no reconstructable value.
+
+        Edge cases, pinned by tests: a single sample interpolates
+        within its bucket (``q=0`` gives the bucket's low bound, ``q=1``
+        its high bound); empty buckets are skipped, never divided by;
+        a histogram with no in-range samples raises :class:`ValueError`
+        (there is no distribution to summarise).
+        """
+        in_range = self.total - self.out_of_range
+        if in_range <= 0:
+            raise ValueError("quantiles of a histogram with no in-range samples")
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile {q} outside 0..1")
+        out: List[float] = []
+        for q in qs:
+            rank = q * in_range
+            cumulative = 0
+            value: float = float(self._buckets[-1][1])
+            for (low, high), count in zip(self._buckets, self._counts):
+                if count == 0:
+                    continue
+                if rank <= cumulative + count:
+                    fraction = (rank - cumulative) / count
+                    value = low + fraction * (high - low)
+                    break
+                cumulative += count
+            out.append(value)
+        return out
+
+    def cdf_points(self) -> List[Tuple[int, float]]:
+        """The empirical CDF as ``(bucket upper bound, cumulative fraction)``.
+
+        One point per *declared* bucket (empty buckets repeat the
+        previous cumulative fraction, keeping the x-axis complete for
+        plotting).  Fractions are over in-range samples; a histogram
+        with no in-range samples yields all-zero fractions rather than
+        raising, so an idle instrument still exports a valid — flat —
+        curve.
+        """
+        in_range = self.total - self.out_of_range
+        points: List[Tuple[int, float]] = []
+        cumulative = 0
+        for (low, high), count in zip(self._buckets, self._counts):
+            cumulative += count
+            fraction = cumulative / in_range if in_range > 0 else 0.0
+            points.append((high, fraction))
+        return points
+
     def bucket_bounds(self) -> List[Tuple[int, int]]:
         """The (low, high) bucket ranges, in declaration order."""
         return [tuple(bucket) for bucket in self._buckets]

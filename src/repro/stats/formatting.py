@@ -1,0 +1,78 @@
+"""One stable number formatter for every rendered report surface.
+
+Markdown fleet reports, figure CSVs, the HTML campaign report and the
+bench-gate text all used to format numbers with ad-hoc f-strings
+(``:.3f`` here, ``:.4g`` there).  ``%g``-style formats switch to
+scientific notation for tiny magnitudes — a sweep whose geomean stdev
+is ``3e-07`` rendered as ``3e-07`` in one table and ``0.000`` in the
+next — and every new surface invented its own precision.  Rendered
+reports are diffed byte-for-byte by the determinism gates, so *one*
+formatter owns the rules:
+
+* fixed-point decimal, **never** scientific notation;
+* a bounded number of significant decimals, trailing zeros trimmed;
+* integers (and integral floats) render without a decimal point;
+* ``None``/NaN/inf render as explicit placeholders instead of
+  propagating junk into a table.
+
+Python 3 float repr is already platform-independent (shortest repr of
+the IEEE-754 double), so routing every surface through this module
+makes the rendered bytes a function of the data alone.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+#: Placeholder for absent values in rendered tables.
+MISSING = "—"
+
+
+def format_number(
+    value: Any,
+    decimals: int = 6,
+    thousands: bool = False,
+) -> str:
+    """Render one number in stable fixed-point decimal.
+
+    ``decimals`` bounds the digits kept after the point (trailing
+    zeros are trimmed, so ``1.5`` stays ``1.5``, not ``1.500000``).
+    ``thousands`` adds ``,`` group separators to the integer part —
+    cycle counts read better with them, ratios without.
+    """
+    if value is None:
+        return MISSING
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return f"{value:,d}" if thousands else str(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if value == int(value) and abs(value) < 1e15:
+            return format_number(int(value), thousands=thousands)
+        text = f"{value:,.{decimals}f}" if thousands else f"{value:.{decimals}f}"
+        text = text.rstrip("0").rstrip(".")
+        # Everything below the kept precision collapses to plain zero,
+        # never "-0" or "0." fragments.
+        if text in ("", "-", "-0"):
+            return "0"
+        return text
+    return str(value)
+
+
+def format_ratio(value: Optional[float], decimals: int = 3) -> str:
+    """Speedups / fractions: fixed 3-decimal default, still exponent-free."""
+    return format_number(value, decimals=decimals)
+
+
+def format_count(value: Optional[float]) -> str:
+    """Cycle/event counts: integer rendering with thousands separators."""
+    if value is None:
+        return MISSING
+    if isinstance(value, float):
+        value = int(round(value))
+    return format_number(value, thousands=True)

@@ -113,3 +113,76 @@ def test_merge_rejects_different_buckets():
     b = BucketHistogram([(1, 20)])
     with pytest.raises(ValueError, match="different buckets"):
         a.merge(b)
+
+
+# -- quantiles / CDF export (figure pipeline) ---------------------------
+
+
+def test_quantiles_interpolate_within_bucket():
+    histogram = BucketHistogram([(0, 9), (10, 19), (20, 29)])
+    for value in (0, 5, 12, 15, 25):
+        histogram.add(value)
+    q0, median, q1 = histogram.quantiles([0.0, 0.5, 1.0])
+    assert q0 == 0.0  # low bound of the first non-empty bucket
+    assert q1 == 29.0  # high bound of the last non-empty bucket
+    assert 10.0 <= median <= 19.0  # rank 2.5 of 5 lands in the middle bucket
+
+
+def test_quantiles_single_sample():
+    histogram = BucketHistogram([(0, 9), (10, 19)])
+    histogram.add(12)
+    low, mid, high = histogram.quantiles([0.0, 0.5, 1.0])
+    # One sample: the whole distribution is its bucket, interpolated.
+    assert low == 10.0
+    assert high == 19.0
+    assert 10.0 <= mid <= 19.0
+
+
+def test_quantiles_skip_empty_buckets():
+    histogram = BucketHistogram([(0, 9), (10, 19), (20, 29)])
+    histogram.add(1)
+    histogram.add(25)  # middle bucket stays empty
+    values = histogram.quantiles([0.0, 1.0])
+    assert values[0] == 0.0
+    assert values[1] == 29.0
+
+
+def test_quantiles_empty_histogram_raises():
+    histogram = BucketHistogram([(0, 9)])
+    with pytest.raises(ValueError, match="no in-range samples"):
+        histogram.quantiles([0.5])
+    histogram.add(100)  # out of range only: still no distribution
+    with pytest.raises(ValueError, match="no in-range samples"):
+        histogram.quantiles([0.5])
+
+
+def test_quantiles_reject_out_of_unit_interval():
+    histogram = BucketHistogram([(0, 9)])
+    histogram.add(5)
+    with pytest.raises(ValueError, match="outside 0..1"):
+        histogram.quantiles([1.5])
+
+
+def test_cdf_points_monotone_and_complete():
+    histogram = BucketHistogram([(0, 9), (10, 19), (20, 29)])
+    for value in (1, 2, 12, 25):
+        histogram.add(value)
+    points = histogram.cdf_points()
+    # One point per declared bucket, at its upper bound.
+    assert [upper for upper, _ in points] == [9, 19, 29]
+    fractions = [fraction for _, fraction in points]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == 1.0
+
+
+def test_cdf_points_empty_bucket_repeats_fraction():
+    histogram = BucketHistogram([(0, 9), (10, 19), (20, 29)])
+    histogram.add(1)
+    histogram.add(25)
+    fractions = [fraction for _, fraction in histogram.cdf_points()]
+    assert fractions == [0.5, 0.5, 1.0]  # empty middle bucket holds flat
+
+
+def test_cdf_points_empty_histogram_is_flat_zero():
+    histogram = BucketHistogram([(0, 9), (10, 19)])
+    assert histogram.cdf_points() == [(9, 0.0), (19, 0.0)]

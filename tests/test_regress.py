@@ -243,3 +243,70 @@ def test_cli_bench_check_fails_nonzero(tmp_path, capsys):
     # --warn-only downgrades the failure to exit 0.
     assert main(["bench-check", *baseline, "--current-dir", str(tmp_path),
                  "--warn-only"]) == 0
+
+
+def test_cli_bench_check_json_to_stdout(capsys):
+    from repro.__main__ import main
+
+    code = main([
+        "bench-check",
+        "--baseline-dir", str(ROOT / "benchmarks" / "baselines"),
+        "--current-dir", str(ROOT),
+        "--json", "-",
+    ])
+    assert code == 0
+    # With --json -, stdout IS the machine-readable report: nothing else.
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["format"] == "repro-bench-check"
+    assert payload["exit_code"] == 0
+    assert payload["ok"] is True
+
+
+def test_cli_bench_check_json_carries_honest_exit_code(tmp_path, capsys):
+    from repro.__main__ import main
+
+    current = load_bench_report(ROOT / "BENCH_fleet.json")
+    data = json.loads(json.dumps(current["data"]))
+    data["overhead"]["identical_results"] = False
+    write_bench_report("fleet", data, tmp_path / "BENCH_fleet.json")
+    out = tmp_path / "gate.json"
+    # --warn-only exits 0, but the JSON keeps exit_code 1 + ok false so
+    # downstream consumers (the HTML report, CI annotations) see truth.
+    code = main([
+        "bench-check",
+        "--baseline-dir", str(ROOT / "benchmarks" / "baselines"),
+        "--current-dir", str(tmp_path),
+        "--json", str(out), "--warn-only",
+    ])
+    capsys.readouterr()
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["ok"] is False
+    assert payload["exit_code"] == 1
+    assert payload["warn_only"] is True
+
+
+def test_exit_code_constants_are_the_contract():
+    from repro.obs.regress import EXIT_OK, EXIT_REGRESSION
+
+    assert EXIT_OK == 0
+    assert EXIT_REGRESSION == 1
+
+
+def test_render_check_never_uses_scientific_notation():
+    report = {
+        "ok": True,
+        "regressions": 0,
+        "missing": 0,
+        "baseline_dir": "b",
+        "current_dir": "c",
+        "rows": [{
+            "metric": "fleet:overhead.slowdown_with_telemetry",
+            "baseline": 3e-07,
+            "current": 2.5e-07,
+            "relative_change": -0.1667,
+            "status": "ok",
+        }],
+    }
+    rendered = render_check(report)
+    assert "e-" not in rendered and "E-" not in rendered

@@ -2,7 +2,7 @@
 
 .PHONY: install test bench perf event-core figures figures-bench \
 	paper-figures quicktest faults trace overhead fleet fleet-bench \
-	bench-check checkpoint service chaos clean
+	bench-check checkpoint service chaos blame attrib-bench clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -81,6 +81,16 @@ figures:
 
 figures-bench:
 	python benchmarks/perf/figures_pipeline.py
+
+# Walk-latency blame: trace a small sweep, attribute every walk's
+# cycles to pipeline stages, and write the merged report.  Exits
+# nonzero if any walk's stages fail to sum to its end-to-end latency.
+blame:
+	python -m repro blame --workloads MVT,XSB --schedulers fcfs,simt \
+		--seeds 2 --jobs 2 --out blame_report.json
+
+attrib-bench:
+	python benchmarks/perf/attrib_overhead.py
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks

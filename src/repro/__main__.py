@@ -23,6 +23,13 @@ Commands
     translation pipeline (pending-walk depth, walker occupancy, PWC hit
     rates, DRAM queue depth) and print — or write — the JSON dump.
 
+``blame``
+    Walk-latency attribution: run a traced sweep (or analyze an
+    existing trace with ``--trace``) and write the deterministic blame
+    report — per-walk stage breakdowns reconciled to end-to-end
+    latency, per-job critical paths, per-scheduler stage shares and
+    top-K outlier walks.  See ``docs/OBSERVABILITY.md``.
+
 ``faults``
     Run a seeded fault-injection campaign (deterministic: the same seed
     prints byte-identical JSON).  ``--trace-dir`` additionally writes a
@@ -187,6 +194,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.jsonl:
         print(f"jsonl: {args.jsonl}")
     print("open in https://ui.perfetto.dev or chrome://tracing")
+    if summary["events_dropped"] > 0:
+        # Ring overflow is silent data loss for any per-walk analysis
+        # downstream (blame, Fig. 3 histograms) — make it loud.
+        print(
+            f"warning: ring overflow dropped {summary['events_dropped']} "
+            f"event(s); rerun with a larger --ring-size (currently "
+            f"{trace_config.ring_size}) or fewer --categories for "
+            "complete lifecycles",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -211,6 +228,91 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     else:
         print(dump)
+    return 0
+
+
+def _cmd_blame(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.attrib import (
+        BLAME_REPORT_FORMAT,
+        BLAME_REPORT_VERSION,
+        blame_run_report,
+        blame_sweep_report,
+        blame_sweep_specs,
+        iter_trace_events,
+        render_blame_report,
+    )
+
+    if args.trace:
+        # Analyze-existing-trace mode: no simulation, just attribution.
+        events = iter_trace_events(args.trace)
+        run = blame_run_report(events, top_k=args.top)
+        document = {
+            "format": BLAME_REPORT_FORMAT,
+            "version": BLAME_REPORT_VERSION,
+            "source": args.trace,
+            "runs": [run],
+            "reconciliation": dict(run["reconciliation"]),
+        }
+    else:
+        from repro.experiments.runner import run_many
+
+        workloads = [name.upper() for name in args.workloads.split(",")]
+        schedulers = args.schedulers.split(",")
+        sweep_kwargs = {}
+        if args.ring_size is not None:
+            sweep_kwargs["ring_size"] = args.ring_size
+        specs = blame_sweep_specs(
+            workloads,
+            schedulers,
+            seeds=range(args.seeds),
+            config=_load_config(args),
+            num_wavefronts=args.wavefronts,
+            scale=args.scale,
+            **sweep_kwargs,
+        )
+        results = run_many(specs, jobs=args.jobs)
+        document = blame_sweep_report(specs, results, top_k=args.top)
+
+    rendered = render_blame_report(document)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        if not args.quiet:
+            print(f"wrote {args.out}")
+    else:
+        print(rendered)
+    if not args.quiet:
+        for scheduler, entry in sorted(
+            document.get("by_scheduler", {}).items()
+        ):
+            shares = ", ".join(
+                f"{stage}={share:.1%}"
+                for stage, share in sorted(
+                    entry["stage_shares"].items(),
+                    key=lambda kv: -kv[1],
+                )
+                if share > 0
+            )
+            print(
+                f"{scheduler}: {entry['walks_attributed']} walks — {shares}"
+            )
+    dropped = document.get("events_dropped", 0)
+    if dropped:
+        print(
+            f"warning: ring overflow dropped {dropped} event(s); "
+            "attribution is incomplete — raise --ring-size",
+            file=sys.stderr,
+        )
+    reconciliation = document.get("reconciliation", {})
+    if reconciliation.get("failures"):
+        print(
+            f"{reconciliation['failures']}/{reconciliation['checked']} "
+            "walk(s) failed stage reconciliation",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -1029,6 +1131,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_args(metrics)
     metrics.set_defaults(func=_cmd_metrics)
+
+    blame = sub.add_parser(
+        "blame",
+        help="walk-latency attribution: stage breakdowns, critical "
+        "paths, per-scheduler blame shares",
+    )
+    blame.add_argument(
+        "--trace",
+        default=None,
+        help="analyze an existing Chrome-trace JSON or JSONL event "
+        "stream instead of running a sweep",
+    )
+    blame.add_argument(
+        "--workloads", default="MVT", help="comma-separated workload names"
+    )
+    blame.add_argument(
+        "--schedulers",
+        default="fcfs,simt",
+        help="comma-separated policy names",
+    )
+    blame.add_argument(
+        "--seeds", type=int, default=1, help="seeds 0..N-1 per case"
+    )
+    blame.add_argument("--scale", type=float, default=0.1)
+    blame.add_argument("--wavefronts", type=int, default=8)
+    blame.add_argument("--jobs", type=int, default=1)
+    blame.add_argument(
+        "--ring-size",
+        type=int,
+        default=None,
+        help="tracer ring size for sweep runs (default: the blame "
+        "default, large enough for complete lifecycles)",
+    )
+    blame.add_argument(
+        "--top", type=int, default=5, help="outlier walk digests to keep"
+    )
+    blame.add_argument(
+        "--config",
+        default=None,
+        help="JSON machine description (possibly partial)",
+    )
+    blame.add_argument(
+        "--out",
+        default=None,
+        help="write the blame report JSON here instead of stdout",
+    )
+    blame.add_argument("--quiet", action="store_true")
+    blame.set_defaults(func=_cmd_blame)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure/table")
     figure.add_argument("name", help="e.g. fig8, fig13a, table2")

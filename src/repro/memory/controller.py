@@ -34,7 +34,7 @@ from repro.obs.trace import PID_MEMORY
 class _Request:
     __slots__ = (
         "address", "bank", "row", "arrival_seq", "arrival_time",
-        "row_hit", "on_complete",
+        "row_hit", "service_start", "on_complete",
     )
 
     def __init__(
@@ -46,6 +46,9 @@ class _Request:
         self.arrival_seq = arrival_seq
         self.arrival_time = arrival_time
         self.row_hit = False
+        #: Cycle the bank started serving this request (-1 while queued);
+        #: ``service_start - arrival_time`` is the bank-queueing delay.
+        self.service_start = -1
         self.on_complete = on_complete
 
 
@@ -160,17 +163,30 @@ class QueuedMemoryController:
                 self.padded_accesses += 1
         bank.busy = True
         self.reads += 1
+        request.service_start = self._sim.now
         self._in_service[bank_index] = request
         self._sim.post(latency, "dram.complete", bank_index)
 
     def _complete(self, bank_index: int) -> None:
         request = self._in_service.pop(bank_index)
         tracer = self.tracer
-        if tracer is not None and tracer.cat_memory:
-            tracer.dram_read_span(
-                request.arrival_time, self._sim.now, request.bank,
-                request.address, request.row_hit,
-            )
+        if tracer is not None:
+            if tracer.cat_memory:
+                tracer.dram_read_span(
+                    request.arrival_time, self._sim.now, request.bank,
+                    request.address, request.row_hit,
+                )
+                tracer.dram_service(
+                    request.service_start, self._sim.now, request.bank,
+                    request.address, request.row_hit,
+                )
+            if tracer.cat_walk:
+                # Timing receipt for a walker completing this read in
+                # the dispatch below (see Tracer.last_dram_access).
+                tracer.last_dram_access = (
+                    request.service_start, self._sim.now, request.bank,
+                    request.row_hit,
+                )
         self._sim.dispatch(request.on_complete)
         # The bank stays occupied for the data burst before accepting
         # its next request.

@@ -108,8 +108,20 @@ class DRAM:
         self.total_latency += done - now
         self.total_queue_delay += start - now
         tracer = self.tracer
-        if tracer is not None and tracer.cat_memory:
-            tracer.dram_access(start, done, address, start - now, bool(row_hit))
+        if tracer is not None:
+            if tracer.cat_memory:
+                tracer.dram_access(
+                    start, done, address, start - now, bool(row_hit),
+                    bank_index,
+                )
+            if tracer.cat_walk:
+                # Timing receipt for the walker issuing this read in the
+                # same call stack (see Tracer.last_dram_access): lets
+                # walk_read spans split bank-queue vs row-access cycles
+                # without recording the whole memory category.
+                tracer.last_dram_access = (
+                    start, done, bank_index, bool(row_hit)
+                )
         return done
 
     def access_batch(self, addresses: Sequence[int], now: int) -> List[int]:

@@ -68,6 +68,17 @@ class MemorySubsystem:
             self.controller.tracer = tracer
         self.data_accesses = 0
         self.page_table_reads = 0
+        #: Always-on stage accounting for page-table reads (reservation
+        #: model only; the queued controller resolves asynchronously and
+        #: leaves these at zero).  ``pt_read_cycles`` is issue → padded
+        #: completion, of which ``pt_queue_cycles`` were spent waiting
+        #: on a busy bank and ``pt_pad_cycles`` were fault-injected
+        #: padding — the remainder is row access.  These feed the
+        #: ``walk.stage.*`` metrics counters so blame summaries exist
+        #: even when tracing is off.
+        self.pt_read_cycles = 0
+        self.pt_queue_cycles = 0
+        self.pt_pad_cycles = 0
         simulator.register("mem.ctrl_read", self._controller_read)
         simulator.register_batch("mem.ctrl_read", self._controller_read_batch)
         if profiler is None:
@@ -209,9 +220,16 @@ class MemorySubsystem:
     ) -> None:
         self.page_table_reads += 1
         if self.dram is not None:
-            done = self.dram.access(physical_address, self._sim.now)
+            now = self._sim.now
+            queue_before = self.dram.total_queue_delay
+            done = self.dram.access(physical_address, now)
+            self.pt_queue_cycles += self.dram.total_queue_delay - queue_before
             if self._injector is not None:
-                done += self._injector.dram_padding(self._sim.now)
+                pad = self._injector.dram_padding(now)
+                if pad:
+                    done += pad
+                    self.pt_pad_cycles += pad
+            self.pt_read_cycles += done - now
             self._sim.at(done, on_complete)
         else:
             assert self.controller is not None
@@ -225,6 +243,9 @@ class MemorySubsystem:
         state: Dict[str, object] = {
             "data_accesses": self.data_accesses,
             "page_table_reads": self.page_table_reads,
+            "pt_read_cycles": self.pt_read_cycles,
+            "pt_queue_cycles": self.pt_queue_cycles,
+            "pt_pad_cycles": self.pt_pad_cycles,
             "l1_caches": [cache.snapshot() for cache in self.l1_caches],
             "l2_cache": self.l2_cache.snapshot(),
         }
@@ -237,6 +258,9 @@ class MemorySubsystem:
     def restore(self, state: Dict[str, object]) -> None:
         self.data_accesses = state["data_accesses"]
         self.page_table_reads = state["page_table_reads"]
+        self.pt_read_cycles = state.get("pt_read_cycles", 0)
+        self.pt_queue_cycles = state.get("pt_queue_cycles", 0)
+        self.pt_pad_cycles = state.get("pt_pad_cycles", 0)
         for cache, dump in zip(self.l1_caches, state["l1_caches"]):
             cache.restore(dump)
         self.l2_cache.restore(state["l2_cache"])

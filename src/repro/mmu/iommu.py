@@ -120,6 +120,10 @@ class IOMMU:
         #: being serviced by a walker (demand walks only).
         self.total_queue_wait = 0
         self.total_service_time = 0
+        #: Cycles requests spent in the FIFO overflow queue before
+        #: reaching the pending buffer (the ``enqueue_wait`` attribution
+        #: stage), accumulated as each overflowed request drains.
+        self.total_overflow_wait = 0
         #: instruction_id -> list of walker-dispatch sequence numbers, for
         #: the interleaving metric (paper Fig 5).
         self.dispatches_by_instruction: Dict[int, List[int]] = {}
@@ -314,6 +318,9 @@ class IOMMU:
         """Move overflowed requests into freed buffer slots (FIFO)."""
         while self._overflow and not self.buffer.is_full:
             request = self._overflow.popleft()
+            self.total_overflow_wait += (
+                self._sim.now - request.iommu_arrival_time
+            )
             # Re-run the coalescing check: the landscape may have changed
             # while the request sat in the overflow queue.
             if self._try_coalesce(request):
@@ -510,6 +517,7 @@ class IOMMU:
             "prefetch_walks": self.prefetch_walks,
             "total_queue_wait": self.total_queue_wait,
             "total_service_time": self.total_service_time,
+            "total_overflow_wait": self.total_overflow_wait,
             "dispatches_by_instruction": {
                 iid: list(seqs)
                 for iid, seqs in self.dispatches_by_instruction.items()
@@ -544,6 +552,7 @@ class IOMMU:
         self.prefetch_walks = state["prefetch_walks"]
         self.total_queue_wait = state["total_queue_wait"]
         self.total_service_time = state["total_service_time"]
+        self.total_overflow_wait = state.get("total_overflow_wait", 0)
         self.dispatches_by_instruction = {
             iid: list(seqs)
             for iid, seqs in state["dispatches_by_instruction"].items()

@@ -67,12 +67,27 @@ class PageTableWalker:
         #: the rest of the run (fault injection: ``drop_walk_completion``).
         self.wedged = False
         self._walk_start = 0
-        #: PTE addresses still to read for the current walk (the one in
-        #: flight excluded — its completion event is already queued).
-        self._remaining: List[int] = []
+        #: ``(level, address)`` pairs still to read for the current walk
+        #: (the one in flight excluded — its completion event is already
+        #: queued).  Levels ride along so read spans can attribute
+        #: cycles per page-table level.
+        self._remaining: List[Tuple[int, int]] = []
         self._total_accesses = 0
         #: ``(pfn, accesses)`` held back by a delayed-completion fault.
         self._pending: Optional[Tuple[int, int]] = None
+        #: Cycles completions spent held back by delay faults (the
+        #: ``deliver_hold`` attribution stage), counted always-on.
+        self.held_cycles = 0
+        self._finish_time = 0
+        # In-flight read bookkeeping for walk_read spans (cat "walk"
+        # tracing only; ``_read_issue`` is -1 when no read is tracked).
+        self._read_issue = -1
+        self._read_level = 0
+        self._read_address = 0
+        #: DRAM timing receipt captured at issue (reservation model);
+        #: the queued controller leaves it None and supplies the receipt
+        #: at completion instead (see ``Tracer.last_dram_access``).
+        self._read_meta: Optional[Tuple[int, int, int, bool]] = None
         #: Completion sink; not serialised — the owner re-wires it on
         #: restore (see :meth:`restore`).
         self._on_complete: Optional[WalkCompletion] = None
@@ -102,23 +117,74 @@ class PageTableWalker:
         self._on_complete = on_complete
 
         accesses_needed = self._pwc.walk_lookup(entry.vpn, entry.pinned_levels)
-        # The full root-to-leaf address list; a PWC hit skips the upper
-        # levels, leaving only the deepest `accesses_needed` reads.
+        # The full root-to-leaf (level, address) list; a PWC hit skips
+        # the upper levels, leaving only the deepest `accesses_needed`
+        # reads.
         path = self._page_table.walk_addresses(entry.vpn)
-        self._remaining = [address for _, address in path[-accesses_needed:]]
+        self._remaining = list(path[-accesses_needed:])
         self._total_accesses = accesses_needed
+        self._read_issue = -1
+        self._read_meta = None
         self._issue_next()
 
     def _issue_next(self) -> None:
+        tracer = self._tracer
+        if tracer is not None and tracer.cat_walk and self._read_issue >= 0:
+            self._emit_read_span(tracer)
         if not self._remaining:
             self._finish()
             return
-        address = self._remaining.pop(0)
+        level, address = self._remaining.pop(0)
         self.memory_accesses += 1
-        tracer = self._tracer
-        if tracer is not None and tracer.cat_memory:
-            tracer.ptw_read(self._sim.now, self.walker_id, address)
+        if tracer is not None:
+            if tracer.cat_memory:
+                tracer.ptw_read(self._sim.now, self.walker_id, address)
+            if tracer.cat_walk:
+                self._read_issue = self._sim.now
+                self._read_level = level
+                self._read_address = address
+                # The reservation DRAM computes timing synchronously and
+                # leaves a receipt during this call; the queued
+                # controller leaves None and supplies it at completion.
+                tracer.last_dram_access = None
+                self._page_table_read(address, self._step_event)
+                self._read_meta = tracer.last_dram_access
+                return
         self._page_table_read(address, self._step_event)
+
+    def _emit_read_span(self, tracer) -> None:
+        """Close the just-completed read as a ``walk_read`` span.
+
+        The span decomposes exactly: bank-queue wait, row access, and
+        fault padding tile issue → now with no residue, whichever memory
+        model produced the receipt.  A missing receipt (a custom
+        page-table-read hook, as in unit tests) reports the whole span
+        as row access with ``bank = -1``.
+        """
+        now = self._sim.now
+        issue = self._read_issue
+        self._read_issue = -1
+        meta = self._read_meta
+        if meta is None:
+            meta = tracer.last_dram_access
+        self._read_meta = None
+        tracer.last_dram_access = None
+        if meta is not None:
+            service_start, done, bank, row_hit = meta
+            bank_queue = service_start - issue
+            row_access = done - service_start
+            fault_pad = now - done
+        else:
+            bank, row_hit = -1, False
+            bank_queue = 0
+            row_access = now - issue
+            fault_pad = 0
+        entry = self._current
+        tracer.walk_read(
+            issue, now, self.walker_id, entry.vpn, entry.instruction_id,
+            self._read_level, self._read_address, bank, bank_queue,
+            row_access, fault_pad, bool(row_hit),
+        )
 
     def _issue_next_batch(self, payloads) -> None:
         # A walker services one walk at a time, so same-cycle step runs
@@ -132,6 +198,7 @@ class PageTableWalker:
         accesses = self._total_accesses
         pfn = self._page_table.translate(entry.vpn)
         self._pwc.fill(entry.vpn)
+        self._finish_time = self._sim.now
         if self._injector is not None:
             action, extra = self._injector.on_walk_completion(
                 self.walker_id, entry, self._sim.now
@@ -156,6 +223,7 @@ class PageTableWalker:
         entry = self._current
         self.walks_completed += 1
         self.busy_cycles += self._sim.now - self._walk_start
+        self.held_cycles += self._sim.now - self._finish_time
         self._current = None
         if self._tracer is not None:
             self._tracer.walk_span(
@@ -181,6 +249,12 @@ class PageTableWalker:
             "remaining": list(self._remaining),
             "total_accesses": self._total_accesses,
             "pending": self._pending,
+            "held_cycles": self.held_cycles,
+            "finish_time": self._finish_time,
+            "read_issue": self._read_issue,
+            "read_level": self._read_level,
+            "read_address": self._read_address,
+            "read_meta": self._read_meta,
         }
 
     def restore(self, state: Dict[str, Any]) -> None:
@@ -196,3 +270,9 @@ class PageTableWalker:
         self._remaining = list(state["remaining"])
         self._total_accesses = state["total_accesses"]
         self._pending = state["pending"]
+        self.held_cycles = state.get("held_cycles", 0)
+        self._finish_time = state.get("finish_time", 0)
+        self._read_issue = state.get("read_issue", -1)
+        self._read_level = state.get("read_level", 0)
+        self._read_address = state.get("read_address", 0)
+        self._read_meta = state.get("read_meta")

@@ -13,6 +13,9 @@ Six cooperating layers, all zero-overhead when disabled:
   sweeps (JSONL fleet log, stderr progress, worker heartbeats);
 * :mod:`repro.obs.aggregate` — deterministic cross-run aggregation
   into a fleet report (distributions, geomean speedups);
+* :mod:`repro.obs.attrib` — walk-latency attribution: per-walk stage
+  breakdowns reconciled to end-to-end latency, per-job critical paths,
+  aggregated blame reports;
 * :mod:`repro.obs.regress` — benchmark regression gating against
   committed ``BENCH_*.json`` baselines.
 
@@ -26,6 +29,18 @@ from repro.obs.aggregate import (
     fleet_report,
     render_fleet_report,
     sweep_specs,
+)
+from repro.obs.attrib import (
+    BLAME_CATEGORIES,
+    STAGES,
+    attribute_walks,
+    blame_run_report,
+    blame_sweep_report,
+    blame_sweep_specs,
+    critical_paths,
+    iter_trace_events,
+    render_blame_report,
+    stage_summary,
 )
 from repro.obs.fleet import DEFAULT_HEARTBEAT_SECONDS, FleetTelemetry
 from repro.obs.metrics import (
@@ -54,6 +69,7 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BLAME_CATEGORIES",
     "Counter",
     "DEFAULT_HEARTBEAT_SECONDS",
     "DEFAULT_METRICS",
@@ -64,20 +80,29 @@ __all__ = [
     "MetricSpec",
     "MetricsRegistry",
     "PhaseProfiler",
+    "STAGES",
     "TRACE_CATEGORIES",
     "TraceConfig",
     "Tracer",
+    "attribute_walks",
+    "blame_run_report",
+    "blame_sweep_report",
+    "blame_sweep_specs",
     "build_tracer",
     "check_benches",
     "compare_metric",
+    "critical_paths",
     "deterministic_view",
     "distribution",
     "finalize_standard_metrics",
     "fleet_markdown",
     "fleet_report",
     "install_standard_metrics",
+    "iter_trace_events",
+    "render_blame_report",
     "render_check",
     "render_fleet_report",
+    "stage_summary",
     "sweep_specs",
     "validate_chrome_trace",
 ]

@@ -182,6 +182,14 @@ def fleet_report(
         report["telemetry"] = telemetry_summary
     if metrics_by_scheduler:
         report["metrics_by_scheduler"] = metrics_by_scheduler
+        # Walk-stage blame summary from the always-on walk.stage.*
+        # counters — present whenever the runs carried metrics, no
+        # tracing required (see repro.obs.attrib).
+        from repro.obs.attrib import stage_summary
+
+        stages = stage_summary(metrics_by_scheduler)
+        if stages:
+            report["walk_stages_by_scheduler"] = stages
     return report
 
 

@@ -33,6 +33,8 @@ Registered figures (``python -m repro figures --list``):
 ``fig14_sensitivity``   geomean speedup vs footprint scale (Fig 14)
 ``scheduler_comparison``  normalised-runtime heatmap, any scheduler set
 ``latency_cdf``         walk-latency CDF per scheduler (needs --metrics)
+``blame_stage_share``   stacked walk-stage shares per scheduler (--metrics)
+``blame_waterfall``     cumulative per-walk stage waterfall (--metrics)
 ======================  ================================================
 
 Multiple campaign reports can be loaded side by side (each tagged with
@@ -826,6 +828,166 @@ def latency_cdf(data: CampaignData) -> Figure:
         title=definition.title,
         description=definition.description,
         columns=["scheduler", "latency_cycles", "cdf"],
+        rows=rows,
+        spec=spec,
+    )
+
+
+def _stage_color(stages: Sequence[str]) -> Dict[str, Any]:
+    """Fixed stage → palette-slot assignment, in pipeline order.
+
+    Unlike :func:`scheduler_color` the domain is the attribution stage
+    taxonomy (``repro.obs.attrib.STAGES``), ordered as the walk pipeline
+    runs, so 'queue_wait' wears the same hue in every blame chart.
+    """
+    from repro.obs.attrib import STAGES
+
+    domain = [stage for stage in STAGES if stage in set(stages)]
+    return {
+        "field": "stage",
+        "type": "nominal",
+        "title": "stage",
+        "scale": {
+            "domain": domain,
+            "range": [
+                CATEGORICAL_PALETTE[STAGES.index(stage) % len(CATEGORICAL_PALETTE)]
+                for stage in domain
+            ],
+        },
+    }
+
+
+def _blame_summary(data: CampaignData, figure: str) -> Dict[str, Dict[str, Any]]:
+    from repro.obs.attrib import stage_summary
+
+    summary = stage_summary(data.metrics_by_scheduler)
+    if not summary:
+        raise FigureSkipped(
+            f"no walk.stage.* counters in the report — rerun the campaign "
+            f"with --metrics (figure {figure})"
+        )
+    return summary
+
+
+@register_figure(
+    "blame_stage_share",
+    "Walk-latency blame: stage share per scheduler",
+    "Where walk cycles went under each scheduler — the always-on "
+    "walk.stage.* counters stacked as shares of total attributed cycles "
+    "(paper Figs. 9-11 territory: queueing delay vs DRAM service vs "
+    "overflow wait). Tracing-free; any --metrics campaign has it.",
+)
+def blame_stage_share(data: CampaignData) -> Figure:
+    from repro.obs.attrib import STAGES
+
+    summary = _blame_summary(data, "blame_stage_share")
+    rows: List[Dict[str, Any]] = []
+    for scheduler in sorted(summary):
+        entry = summary[scheduler]
+        for order, stage in enumerate(STAGES):
+            if stage not in entry["stage_cycles"]:
+                continue
+            rows.append(
+                {
+                    "scheduler": scheduler,
+                    "stage": stage,
+                    "order": order,
+                    "cycles": entry["stage_cycles"][stage],
+                    "share": _round(entry["stage_shares"][stage]),
+                }
+            )
+    spec = base_spec("blame_stage_share", "Blame — walk-stage shares")
+    spec["mark"] = {"type": "bar"}
+    spec["encoding"] = {
+        "color": _stage_color([row["stage"] for row in rows]),
+        "order": {"field": "order", "type": "quantitative"},
+        "x": {
+            "field": "scheduler",
+            "type": "nominal",
+            "sort": sorted(summary),
+            "title": "scheduler",
+        },
+        "y": {
+            "field": "share",
+            "type": "quantitative",
+            "title": "share of attributed walk cycles",
+            "scale": {"domain": [0, 1]},
+        },
+    }
+    definition = FIGURES["blame_stage_share"]
+    return Figure(
+        name=definition.name,
+        title=definition.title,
+        description=definition.description,
+        columns=["scheduler", "stage", "order", "cycles", "share"],
+        rows=rows,
+        spec=spec,
+    )
+
+
+@register_figure(
+    "blame_waterfall",
+    "Walk-latency blame: per-walk critical-path waterfall",
+    "The mean walk's life as a waterfall: cumulative cycles per stage in "
+    "pipeline order (created -> overflow wait -> scheduler queue -> DRAM "
+    "bank queue -> row access -> fault pad -> delivery hold), one track "
+    "per scheduler. Stage widths are walk.stage.* cycles divided by "
+    "completed walks.",
+)
+def blame_waterfall(data: CampaignData) -> Figure:
+    from repro.obs.attrib import STAGES
+
+    summary = _blame_summary(data, "blame_waterfall")
+    rows: List[Dict[str, Any]] = []
+    for scheduler in sorted(summary):
+        entry = summary[scheduler]
+        per_walk = entry.get("per_walk")
+        if not per_walk:
+            continue
+        cursor = 0.0
+        for order, stage in enumerate(STAGES):
+            width = per_walk.get(stage)
+            if width is None:
+                continue
+            rows.append(
+                {
+                    "scheduler": scheduler,
+                    "stage": stage,
+                    "order": order,
+                    "start": _round(cursor),
+                    "end": _round(cursor + width),
+                    "cycles": _round(width),
+                }
+            )
+            cursor += width
+    if not rows:
+        raise FigureSkipped(
+            "no iommu.walks_completed counter to normalise per walk — "
+            "rerun the campaign with --metrics"
+        )
+    spec = base_spec("blame_waterfall", "Blame — mean-walk stage waterfall")
+    spec["mark"] = {"type": "bar"}
+    spec["encoding"] = {
+        "color": _stage_color([row["stage"] for row in rows]),
+        "x": {
+            "field": "start",
+            "type": "quantitative",
+            "title": "cycles into the mean walk",
+        },
+        "x2": {"field": "end"},
+        "y": {
+            "field": "scheduler",
+            "type": "nominal",
+            "sort": sorted(summary),
+            "title": "scheduler",
+        },
+    }
+    definition = FIGURES["blame_waterfall"]
+    return Figure(
+        name=definition.name,
+        title=definition.title,
+        description=definition.description,
+        columns=["scheduler", "stage", "order", "start", "end", "cycles"],
         rows=rows,
         spec=spec,
     )

@@ -42,6 +42,33 @@ STALE_HEARTBEAT_SECONDS = 60.0
 _FINAL_EVENTS = ("spec_finished",)
 
 
+def _number(value: Any, default: float = 0.0) -> float:
+    """Tolerant numeric coercion for fields read from live JSONL.
+
+    A log being appended to can surface records whose numeric fields
+    are missing, null, or (after a torn write that still parsed) the
+    wrong type; the dashboard must degrade, never crash.
+    """
+    if isinstance(value, bool):  # bool is an int subclass; reject it
+        return default
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return default
+    return default
+
+
+def _opt_number(value: Any) -> Optional[float]:
+    """Like :func:`_number` but None when the field is absent/garbage."""
+    if isinstance(value, bool) or value is None:
+        return None
+    coerced = _number(value, default=float("nan"))
+    return None if coerced != coerced else coerced
+
+
 def discover_logs(path: Union[str, Path]) -> List[Path]:
     """Every telemetry JSONL under a campaign dir (or the file itself).
 
@@ -82,7 +109,11 @@ def read_fleet_events(paths: Sequence[Union[str, Path]]) -> List[Dict[str, Any]]
             if isinstance(record, dict) and "event" in record:
                 record.setdefault("source", source)
                 events.append(record)
-    events.sort(key=lambda record: (record.get("t", 0.0), record.get("source", "")))
+    events.sort(
+        key=lambda record: (
+            _number(record.get("t")), str(record.get("source", ""))
+        )
+    )
     return events
 
 
@@ -99,7 +130,7 @@ def progress_snapshot(
     newest event timestamp so a snapshot of a finished log is stable.
     """
     if now is None:
-        now = max((record.get("t", 0.0) for record in events), default=0.0)
+        now = max((_number(record.get("t")) for record in events), default=0.0)
 
     #: source -> latest sweep_started record (a resumed shard restarts
     #: its sweep; the latest announcement wins).
@@ -116,8 +147,8 @@ def progress_snapshot(
 
     for record in events:
         kind = record.get("event")
-        source = record.get("source", "")
-        key = (source, int(record.get("index", -1)))
+        source = str(record.get("source", ""))
+        key = (source, int(_number(record.get("index"), -1)))
         if kind == "sweep_started":
             sweeps[source] = record
         elif kind == "spec_started":
@@ -134,9 +165,9 @@ def progress_snapshot(
             sweep_done.add(source)
 
     if total_specs is None:
-        total_specs = sum(
-            int(record.get("total", 0)) for record in sweeps.values()
-        ) or None
+        total_specs = int(sum(
+            _number(record.get("total")) for record in sweeps.values()
+        )) or None
 
     status_counts: Dict[str, int] = {}
     durations: List[float] = []
@@ -158,15 +189,24 @@ def progress_snapshot(
                 "t": record.get("t"),
             }
         )
-    recent.sort(key=lambda row: (-(row["t"] or 0.0), row["source"], row["index"]))
+    recent.sort(
+        key=lambda row: (-_number(row["t"]), row["source"], row["index"])
+    )
 
     running: List[Dict[str, Any]] = []
     for key, record in sorted(started.items()):
         if key in finished:
             continue
         beat = heartbeats.get(key)
-        beat_age = (now - beat["t"]) if beat and "t" in beat else None
-        start_age = (now - record["t"]) if "t" in record else None
+        beat_t = _opt_number(beat.get("t")) if beat else None
+        beat_age = (now - beat_t) if beat_t is not None else None
+        start_t = _opt_number(record.get("t"))
+        start_age = (now - start_t) if start_t is not None else None
+        # A shard log that ends mid-line loses its newest heartbeat
+        # record; the spec's own start time is then the best available
+        # liveness signal, so staleness falls back to it rather than
+        # reporting a silently-running worker as healthy forever.
+        staleness_age = beat_age if beat_age is not None else start_age
         running.append(
             {
                 "source": key[0],
@@ -179,20 +219,27 @@ def progress_snapshot(
                 "heartbeat_age_seconds": round(beat_age, 1)
                 if beat_age is not None else None,
                 "stale": bool(
-                    beat_age is not None
-                    and beat_age > STALE_HEARTBEAT_SECONDS
+                    staleness_age is not None
+                    and staleness_age > STALE_HEARTBEAT_SECONDS
                 ),
             }
         )
 
     done = len(finished)
     eta_seconds: Optional[float] = None
+    # ETA needs at least one completed spec with a positive duration;
+    # with zero completions there is nothing to extrapolate from, and
+    # the guard keeps an empty `durations` (or a sweeps list with
+    # no/zero jobs fields) from ever dividing by zero.
     if total_specs and durations and done < total_specs:
         mean = sum(durations) / len(durations)
         # Live specs drain in parallel; the observed concurrency is the
         # honest divisor (a finished campaign never reaches this branch).
         lanes = max(1, len(running)) if running else max(
-            1, sum(int(record.get("jobs", 1)) for record in sweeps.values())
+            1,
+            int(sum(
+                _number(record.get("jobs"), 1) for record in sweeps.values()
+            )),
         )
         eta_seconds = round(mean * (total_specs - done) / lanes, 1)
 

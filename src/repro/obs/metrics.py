@@ -382,6 +382,37 @@ def finalize_standard_metrics(system, registry: MetricsRegistry) -> None:
     for walker in iommu.walkers:
         registry.counter("walker.busy_cycles").inc(walker.busy_cycles)
         registry.counter("walker.memory_accesses").inc(walker.memory_accesses)
+    # Walk-stage attribution counters (see docs/OBSERVABILITY.md,
+    # "Latency attribution"): aggregate cycle totals per lifecycle
+    # stage, kept always-on by the engine so blame summaries and the
+    # blame figure family work from a metrics-only campaign with no
+    # tracing at all.  The DRAM split comes from the reservation
+    # model's page-table-read accounting; under the queued controller
+    # those three counters stay zero (the per-walk trace path still
+    # attributes them exactly).
+    memory = system.memory
+    row_cycles = (
+        memory.pt_read_cycles - memory.pt_queue_cycles - memory.pt_pad_cycles
+    )
+    registry.counter("walk.stage.enqueue_wait_cycles").inc(
+        iommu.total_overflow_wait
+    )
+    registry.counter("walk.stage.queue_wait_cycles").inc(
+        iommu.total_queue_wait
+    )
+    registry.counter("walk.stage.service_cycles").inc(
+        iommu.total_service_time
+    )
+    registry.counter("walk.stage.dram_bank_queue_cycles").inc(
+        memory.pt_queue_cycles
+    )
+    registry.counter("walk.stage.dram_row_cycles").inc(row_cycles)
+    registry.counter("walk.stage.fault_pad_cycles").inc(
+        memory.pt_pad_cycles
+    )
+    registry.counter("walk.stage.deliver_hold_cycles").inc(
+        sum(walker.held_cycles for walker in iommu.walkers)
+    )
     # Per-walk completion latencies, bucketed for the latency-CDF
     # figure.  Fed once at end of run from the instruction records (the
     # same source as detail["walk_latency_percentiles"]), so the

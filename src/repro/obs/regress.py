@@ -1,10 +1,11 @@
 """Benchmark regression gating: committed baselines vs current numbers.
 
-The perf story of this repo lives in four ``BENCH_*.json`` files —
+The perf story of this repo lives in the ``BENCH_*.json`` files —
 the scheduler hot path (``hotpath``), the tracing overhead guard
-(``tracing_overhead``), the fleet sweep bench (``fleet``) and the
-event-core bench (``event_core``) — all written in the unified
-envelope from :mod:`repro.stats.export`.  This
+(``tracing_overhead``), the fleet sweep bench (``fleet``), the
+event-core bench (``event_core``), the figure pipeline (``figures``)
+and the walk-latency attribution bench (``attrib``) — all written in
+the unified envelope from :mod:`repro.stats.export`.  This
 module turns them into a *gate*: load the committed baseline, load the
 current numbers, compare each watched metric under a configurable
 relative threshold, and fail loudly (nonzero exit via ``python -m
@@ -42,6 +43,7 @@ BENCH_FILES: Dict[str, str] = {
     "fleet": "BENCH_fleet.json",
     "event_core": "BENCH_event_core.json",
     "figures": "BENCH_figures.json",
+    "attrib": "BENCH_attrib.json",
 }
 
 #: The ``python -m repro bench-check`` exit-code contract, stable for
@@ -111,6 +113,17 @@ DEFAULT_METRICS: Tuple[MetricSpec, ...] = (
     MetricSpec("figures", "determinism.identical_figures_across_jobs", "exact"),
     MetricSpec("figures", "determinism.identical_html_across_jobs", "exact"),
     MetricSpec("figures", "registry.figure_count", "exact"),
+    # Attribution: blame reports must stay byte-identical across worker
+    # counts and every walk must reconcile; the sweep spec is fixed, so
+    # the attributed walk count is an exact committed number.  The
+    # matcher's throughput gets a loose wall-clock gate.
+    MetricSpec("attrib", "measurement.determinism.identical_blame_across_jobs",
+               "exact"),
+    MetricSpec("attrib", "measurement.attribution.reconciliation_failures",
+               "exact"),
+    MetricSpec("attrib", "measurement.attribution.walks_attributed", "exact"),
+    MetricSpec("attrib", "measurement.analysis.events_per_cpu_sec",
+               "higher", 0.50),
 )
 
 #: Row statuses, in decreasing severity.

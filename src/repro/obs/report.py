@@ -338,6 +338,46 @@ def _audit_section(
     return "".join(parts)
 
 
+def _blame_section(
+    reports: Sequence[Tuple[str, Mapping[str, Any]]]
+) -> str:
+    """Per-scheduler walk-stage blame table, when the reports carry the
+    always-on ``walk.stage.*`` counter summary (see
+    :mod:`repro.obs.attrib`)."""
+    from repro.obs.attrib import STAGES
+
+    rows = []
+    stages_present: List[str] = []
+    for label, report in reports:
+        summary = report.get("walk_stages_by_scheduler") or {}
+        for scheduler in sorted(summary):
+            entry = summary[scheduler]
+            shares = entry.get("stage_shares", {})
+            row: Dict[str, Any] = {"campaign": label, "scheduler": scheduler}
+            for stage in STAGES:
+                if stage not in shares:
+                    continue
+                if stage not in stages_present:
+                    stages_present.append(stage)
+                row[stage] = format_ratio(shares[stage])
+            rows.append(row)
+    if not rows:
+        return ""
+    stage_columns = [s for s in STAGES if s in stages_present]
+    return (
+        "<h2>Walk-stage blame</h2>"
+        "<p class='desc'>Share of total walk cycles spent in each "
+        "pipeline stage, from the always-on walk.stage.* counters "
+        "(no tracing needed). See docs/OBSERVABILITY.md "
+        "&sect;&nbsp;Latency attribution.</p>"
+        + _table(
+            ["campaign", "scheduler", *stage_columns],
+            rows,
+            numeric=tuple(stage_columns),
+        )
+    )
+
+
 def _failures_section(
     reports: Sequence[Tuple[str, Mapping[str, Any]]]
 ) -> str:
@@ -394,6 +434,7 @@ def build_report_html(
         _summary_section(reports),
         f"<h2>Figures</h2><ul>{figure_toc}</ul>",
         *[_figure_section(figure) for figure in figures],
+        _blame_section(reports),
         _skipped_section(skipped),
         _gate_section(gate),
         _audit_section(reports, audits),

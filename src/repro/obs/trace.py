@@ -119,6 +119,14 @@ class Tracer:
         self.events_emitted = 0
         #: instruction_id -> [first_walk_issue, last_walk_complete, walks]
         self._jobs: Dict[int, List[int]] = {}
+        #: Transient DRAM-timing receipt ``(service_start, done, bank,
+        #: row_hit)`` left by the memory models for the walker that is
+        #: synchronously issuing (reservation) or completing (queued
+        #: controller) a page-table read.  Consumed within the same call
+        #: stack, so it is never checkpointed; it exists so the walker
+        #: can split its read spans into bank-queue vs row-access cycles
+        #: without the full ``memory`` category flooding the ring.
+        self.last_dram_access = None
 
     @property
     def enabled(self) -> bool:
@@ -206,6 +214,31 @@ class Tracer:
             "pid": PID_WALKERS, "tid": walker_id, "cat": "walk",
             "args": {"vpn": vpn, "instruction_id": instruction_id,
                      "accesses": accesses},
+        })
+
+    def walk_read(self, start: int, end: int, walker_id: int, vpn: int,
+                  instruction_id: int, level: int, address: int, bank: int,
+                  bank_queue: int, row_access: int, fault_pad: int,
+                  row_hit: bool) -> None:
+        """One page-table read within a walk (issue → data return).
+
+        The span's duration decomposes exactly —
+        ``bank_queue + row_access + fault_pad == dur`` — which is the
+        per-read piece of the attribution layer's reconciliation
+        invariant (:mod:`repro.obs.attrib`).  ``bank`` is -1 when the
+        memory model supplied no timing receipt (then the whole span is
+        reported as ``row_access``).
+        """
+        if not self.cat_walk:
+            return
+        self._emit({
+            "name": "walk_read", "ph": "X", "ts": start,
+            "dur": end - start,
+            "pid": PID_WALKERS, "tid": walker_id, "cat": "walk",
+            "args": {"vpn": vpn, "instruction_id": instruction_id,
+                     "level": level, "address": address, "bank": bank,
+                     "bank_queue": bank_queue, "row_access": row_access,
+                     "fault_pad": fault_pad, "row_hit": row_hit},
         })
 
     # ------------------------------------------------------------------
@@ -309,7 +342,7 @@ class Tracer:
         })
 
     def dram_access(self, start: int, done: int, address: int,
-                    queue_delay: int, row_hit: bool) -> None:
+                    queue_delay: int, row_hit: bool, bank: int = -1) -> None:
         """One reservation-model DRAM access (queue delay folded in args)."""
         if not self.cat_memory:
             return
@@ -317,7 +350,24 @@ class Tracer:
             "name": "dram", "ph": "X", "ts": start, "dur": done - start,
             "pid": PID_MEMORY, "tid": 0, "cat": "memory",
             "args": {"address": address, "queue_delay": queue_delay,
-                     "row_hit": row_hit},
+                     "row_hit": row_hit, "bank": bank},
+        })
+
+    def dram_service(self, start: int, done: int, bank: int, address: int,
+                     row_hit: bool) -> None:
+        """One queued-controller bank *service* interval (dequeue → data).
+
+        Complements :meth:`dram_read_span` (arrival → data): the gap
+        between the two spans' starts is exactly the request's bank
+        queueing delay, which used to be invisible in exports.
+        """
+        if not self.cat_memory:
+            return
+        self._emit({
+            "name": "dram_service", "ph": "X", "ts": start,
+            "dur": done - start,
+            "pid": PID_MEMORY, "tid": 0, "cat": "memory",
+            "args": {"address": address, "bank": bank, "row_hit": row_hit},
         })
 
     def dram_read_span(self, arrival: int, done: int, bank: int,
@@ -487,6 +537,36 @@ def validate_chrome_trace(document: object) -> int:
             duration = event.get("dur")
             if not isinstance(duration, (int, float)) or duration < 0:
                 problems.append(f"{where}: complete event needs dur >= 0")
+            elif event.get("name") == "walk_read":
+                # Stage-boundary spans must decompose exactly — this is
+                # the per-read reconciliation invariant, checked at the
+                # export boundary so a broken emitter cannot ship a
+                # trace the attribution layer would silently misread.
+                args = event.get("args")
+                if not isinstance(args, dict):
+                    problems.append(f"{where}: walk_read needs args")
+                else:
+                    missing = [
+                        key for key in (
+                            "level", "bank", "bank_queue", "row_access",
+                            "fault_pad",
+                        )
+                        if key not in args
+                    ]
+                    if missing:
+                        problems.append(
+                            f"{where}: walk_read args missing {missing}"
+                        )
+                    else:
+                        parts = (
+                            args["bank_queue"] + args["row_access"]
+                            + args["fault_pad"]
+                        )
+                        if parts != duration:
+                            problems.append(
+                                f"{where}: walk_read stages sum to "
+                                f"{parts}, dur is {duration}"
+                            )
         ts = event.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             problems.append(f"{where}: ts must be a non-negative number")

@@ -152,6 +152,71 @@ def test_normalised_figures_null_out_zero_baselines(report):
 
 
 # ----------------------------------------------------------------------
+# Blame (walk-stage attribution) figures
+# ----------------------------------------------------------------------
+
+
+def test_blame_stage_share_rows_sum_to_one(campaign):
+    from repro.obs.attrib import STAGES
+
+    figures, _ = build_figures(campaign, ["blame_stage_share"])
+    rows = figures[0].rows
+    by_scheduler = {}
+    for row in rows:
+        by_scheduler.setdefault(row["scheduler"], []).append(row)
+    assert set(by_scheduler) == {"fcfs", "simt"}
+    for scheduler_rows in by_scheduler.values():
+        assert sum(row["share"] for row in scheduler_rows) == pytest.approx(
+            1.0, abs=1e-4
+        )
+        # Stacked in pipeline order, one row per counter-backed stage
+        # (service_gap is a trace-only residue slot — no counter).
+        expected = [stage for stage in STAGES if stage != "service_gap"]
+        assert [row["stage"] for row in scheduler_rows] == expected
+        orders = [row["order"] for row in scheduler_rows]
+        assert orders == sorted(orders)
+
+
+def test_blame_waterfall_segments_tile_without_gaps(campaign):
+    figures, _ = build_figures(campaign, ["blame_waterfall"])
+    by_scheduler = {}
+    for row in figures[0].rows:
+        by_scheduler.setdefault(row["scheduler"], []).append(row)
+    for scheduler_rows in by_scheduler.values():
+        cursor = 0.0
+        for row in scheduler_rows:
+            assert row["start"] == pytest.approx(cursor)
+            assert row["end"] >= row["start"]
+            cursor = row["end"]
+        assert cursor > 0
+
+
+def test_blame_figures_skip_without_metrics():
+    report = _sweep_report(metrics=False)
+    data = CampaignData.from_reports([("plain", report)])
+    _, skipped = build_figures(data)
+    assert "blame_stage_share" in skipped
+    assert "blame_waterfall" in skipped
+    assert "metrics" in skipped["blame_stage_share"]
+
+
+def test_blame_stage_colors_are_stable(campaign):
+    figures, _ = build_figures(campaign, ["blame_stage_share"])
+    color = figures[0].spec["encoding"]["color"]
+    # The color scale is keyed by stage in pipeline order with a fixed
+    # slot per stage, so adding a scheduler (or a report without some
+    # stage) never reshuffles stage colors between reports.
+    from repro.obs.attrib import STAGES
+
+    present = [stage for stage in STAGES if stage != "service_gap"]
+    assert color["scale"]["domain"] == present
+    assert color["scale"]["range"] == [
+        CATEGORICAL_PALETTE[STAGES.index(stage) % len(CATEGORICAL_PALETTE)]
+        for stage in present
+    ]
+
+
+# ----------------------------------------------------------------------
 # Emission + golden pins
 # ----------------------------------------------------------------------
 
@@ -190,6 +255,12 @@ def test_fig8_matches_golden(campaign):
 def test_latency_cdf_spec_matches_golden(campaign):
     figures, _ = build_figures(campaign, ["latency_cdf"])
     golden_spec = (GOLDEN_DIR / "latency_cdf.vl.json").read_text()
+    assert figures[0].spec_json() == golden_spec
+
+
+def test_blame_stage_share_spec_matches_golden(campaign):
+    figures, _ = build_figures(campaign, ["blame_stage_share"])
+    golden_spec = (GOLDEN_DIR / "blame_stage_share.vl.json").read_text()
     assert figures[0].spec_json() == golden_spec
 
 
@@ -383,6 +454,64 @@ def test_progress_snapshot_keeps_shard_indices_separate():
     ]
     snap = progress_snapshot(events, total_specs=2)
     assert snap["done"] == 2  # same index, different shards: both count
+
+
+def test_progress_snapshot_empty_fleet_is_calm():
+    snap = progress_snapshot([])
+    assert snap["total_specs"] is None
+    assert snap["done"] == 0
+    assert snap["running"] == []
+    assert snap["eta_seconds"] is None
+    assert snap["complete"] is False
+    assert snap["stale_workers"] == 0
+
+
+def test_progress_snapshot_zero_completed_has_no_eta():
+    # Specs running but none finished: ETA must stay None, not divide
+    # by a zero completion rate.
+    events = [
+        _event("sweep_started", 0.0, total=8, jobs=2),
+        _event("spec_started", 1.0, index=0, spec="a", attempt=1),
+        _event("spec_started", 1.0, index=1, spec="b", attempt=1),
+    ]
+    snap = progress_snapshot(events, now=100.0)
+    assert snap["done"] == 0
+    assert snap["eta_seconds"] is None
+    assert snap["total_specs"] == 8
+
+
+def test_progress_snapshot_tolerates_garbage_fields():
+    # A shard log that died mid-write can leave null/string fields in
+    # otherwise-parseable records; the snapshot must coerce, not crash.
+    events = [
+        _event("sweep_started", "0.5", total="4", jobs=None),
+        _event("spec_started", "12.5", index="0", spec="a", attempt=1),
+        _event("spec_finished", None, index=0, spec="a", status="ok",
+               attempts=1, elapsed_seconds="bogus"),
+        {"event": "heartbeat", "t": float("nan"), "index": 1},
+    ]
+    snap = progress_snapshot(events, now=20.0)
+    assert snap["total_specs"] == 4
+    assert snap["done"] == 1
+
+
+def test_progress_snapshot_stale_falls_back_to_start_time():
+    # The shard log ended mid-line, so the worker's last heartbeat was
+    # torn away: staleness must fall back to the spec_started time
+    # instead of treating the worker as forever fresh.
+    events = [
+        _event("spec_started", 12.5, index=0, spec="a", attempt=1),
+    ]
+    snap = progress_snapshot(events, now=500.0)
+    (row,) = snap["running"]
+    assert row["heartbeat_age_seconds"] is None
+    assert row["stale"] is True
+    assert snap["stale_workers"] == 1
+    # A torn heartbeat with an unusable timestamp behaves the same way.
+    events.append({"event": "heartbeat", "t": None, "index": 0,
+                   "source": "shard-a"})
+    snap = progress_snapshot(events, now=500.0)
+    assert snap["running"][0]["stale"] is True
 
 
 def test_read_fleet_events_tolerates_partial_lines(tmp_path):

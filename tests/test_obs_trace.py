@@ -162,6 +162,50 @@ class TestValidator:
         assert "unknown phase" in message
         assert "dur >= 0" in message
 
+    def test_accepts_exactly_decomposed_walk_read(self):
+        good = {
+            "traceEvents": [{
+                "name": "walk_read", "ph": "X", "ts": 10, "dur": 9,
+                "pid": 2, "tid": 0, "cat": "walk",
+                "args": {"level": 1, "bank": 3, "bank_queue": 2,
+                         "row_access": 5, "fault_pad": 2, "row_hit": False},
+            }]
+        }
+        assert validate_chrome_trace(good) == 1
+
+    def test_rejects_walk_read_stage_sum_mismatch(self):
+        bad = {
+            "traceEvents": [{
+                "name": "walk_read", "ph": "X", "ts": 10, "dur": 9,
+                "pid": 2, "tid": 0, "cat": "walk",
+                "args": {"level": 1, "bank": 3, "bank_queue": 2,
+                         "row_access": 5, "fault_pad": 0, "row_hit": False},
+            }]
+        }
+        with pytest.raises(ValueError, match="stages sum to 7, dur is 9"):
+            validate_chrome_trace(bad)
+
+    def test_rejects_walk_read_missing_stage_args(self):
+        bad = {
+            "traceEvents": [{
+                "name": "walk_read", "ph": "X", "ts": 10, "dur": 9,
+                "pid": 2, "tid": 0, "cat": "walk",
+                "args": {"level": 1, "bank": 3},
+            }]
+        }
+        with pytest.raises(ValueError, match="walk_read args missing"):
+            validate_chrome_trace(bad)
+
+    def test_rejects_walk_read_without_args(self):
+        bad = {
+            "traceEvents": [{
+                "name": "walk_read", "ph": "X", "ts": 10, "dur": 9,
+                "pid": 2, "tid": 0,
+            }]
+        }
+        with pytest.raises(ValueError, match="walk_read needs args"):
+            validate_chrome_trace(bad)
+
 
 class TestTracedRuns:
     def test_traced_result_identical_to_untraced(self):
@@ -234,6 +278,46 @@ class TestTracedRuns:
             if event["name"] == "queued":
                 assert event["pid"] == PID_IOMMU
                 assert event["dur"] >= 0
+
+    def test_walk_read_spans_decompose_in_real_traces(self):
+        _, system = _traced_run(trace=TraceConfig(categories={"walk"}))
+        reads = [
+            e for e in system.tracer.events() if e["name"] == "walk_read"
+        ]
+        assert reads, "traced run emitted no walk_read spans"
+        levels = set()
+        for event in reads:
+            args = event["args"]
+            levels.add(args["level"])
+            assert args["bank_queue"] + args["row_access"] + args["fault_pad"] \
+                == event["dur"]
+            assert args["bank_queue"] >= 0 and args["fault_pad"] >= 0
+        # A 4-level radix walk touches every level at least once.
+        assert levels == {1, 2, 3, 4}
+        # The whole export — including the new stage-boundary spans —
+        # still passes the Chrome validator.
+        assert validate_chrome_trace(system.tracer.to_chrome()) > 0
+
+    def test_queued_controller_emits_dram_service_spans(self):
+        import dataclasses
+
+        config = tiny_config()
+        config = dataclasses.replace(
+            config, dram=dataclasses.replace(config.dram, controller="frfcfs")
+        )
+        _, system = _traced_run(
+            trace=TraceConfig(categories={"memory"}), config=config
+        )
+        names = {e["name"] for e in system.tracer.events()}
+        assert "dram_service" in names
+        assert "dram_read" in names
+        service = [
+            e for e in system.tracer.events() if e["name"] == "dram_service"
+        ]
+        for event in service:
+            assert event["dur"] >= 0
+            assert "bank" in event["args"]
+        assert validate_chrome_trace(system.tracer.to_chrome()) > 0
 
     def test_fault_injections_become_instant_events(self):
         plan = FaultPlan(events=(

@@ -2,7 +2,7 @@
 
 .PHONY: install test bench perf event-core figures figures-bench \
 	paper-figures quicktest faults trace overhead fleet fleet-bench \
-	bench-check checkpoint service chaos blame attrib-bench clean
+	bench-check checkpoint service chaos blame attrib-bench zoo clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -41,6 +41,12 @@ fleet-bench:
 
 bench-check:
 	python -m repro bench-check
+
+# Scheduler-zoo comparison: WaSP/IRU/Mosaic vs the paper's policies
+# plus the SMS DRAM controller, written to BENCH_zoo.json for the
+# regression gate.
+zoo:
+	python benchmarks/perf/zoo.py
 
 # Checkpoint/resume round trip: run with periodic state dumps, then
 # resume the leftover mid-run checkpoint — both prints must agree.

@@ -1,0 +1,187 @@
+"""Zoo bench: the scheduler zoo vs the paper's policies, numbers fixed.
+
+Three measurements, written to ``BENCH_zoo.json`` in the unified
+envelope (:func:`repro.stats.export.write_bench_report`):
+
+* **sweep** — a fixed workload × scheduler × seed sweep covering the
+  paper's policies (``fcfs``/``sjf``/``batch``/``simt``) and the zoo
+  families (``wasp``/``iru``/``mosaic``), aggregated by
+  :func:`~repro.obs.aggregate.fleet_report`.  Every number here is
+  deterministic — the regression gate (``python -m repro bench-check``)
+  holds the per-group cycle counts to *exact* equality and the zoo
+  geomean speedups to tight thresholds: any drift is a behaviour
+  change in a policy, not noise.
+* **sms** — the staged-batch DRAM controller compared against the
+  default reservation model on the paper's scheduler, plus the SMS
+  walk-read QoS accounting.  Cycle counts are exact-gated too.
+* **figures** — the zoo sweep pushed through the figure registry's
+  comparison charts (``fig8_speedup``, ``scheduler_comparison``,
+  ``zoo_walk_traffic``); row counts are exact-gated so the charts
+  cannot silently lose a policy.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/zoo.py [--quick]
+        [--output F] [--no-check]
+
+``--quick`` is accepted for CLI symmetry with the other benches but
+changes nothing: the whole bench is one deterministic sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.config import SystemConfig
+from repro.experiments.runner import run_many
+from repro.obs.aggregate import fleet_report, sweep_specs
+from repro.obs.figures import CampaignData, build_figures
+from repro.stats.export import write_bench_report
+
+#: The fixed comparison sweep.  Two irregular workloads, the paper's
+#: four policies plus the three zoo families, two seeds each.
+SWEEP_WORKLOADS = ("MVT", "XSB")
+SWEEP_SCHEDULERS = (
+    "fcfs", "sjf", "batch", "simt",  # the paper's ladder
+    "wasp", "iru", "mosaic",         # the zoo
+)
+SWEEP_SEEDS = range(2)
+SWEEP_SCALE = 0.1
+SWEEP_WAVEFRONTS = 8
+
+#: DRAM controllers the SMS section compares, on the paper's scheduler.
+SMS_CONTROLLERS = ("reservation", "sms")
+
+#: Comparison charts the figure section must be able to build from the
+#: zoo sweep alone (no --metrics, no blame sweep attached).
+ZOO_FIGURES = ("fig8_speedup", "scheduler_comparison", "zoo_walk_traffic")
+
+
+def _sweep_report():
+    specs = sweep_specs(
+        SWEEP_WORKLOADS,
+        SWEEP_SCHEDULERS,
+        SWEEP_SEEDS,
+        scale=SWEEP_SCALE,
+        num_wavefronts=SWEEP_WAVEFRONTS,
+    )
+    outcomes = run_many(specs, return_outcomes=True)
+    return fleet_report(specs, outcomes, baseline_scheduler="fcfs")
+
+
+def measure_sweep(report):
+    """The deterministic zoo-vs-paper aggregate the gate pins."""
+    return {
+        "workloads": list(SWEEP_WORKLOADS),
+        "schedulers": list(SWEEP_SCHEDULERS),
+        "seeds": len(SWEEP_SEEDS),
+        "scale": SWEEP_SCALE,
+        "num_wavefronts": SWEEP_WAVEFRONTS,
+        "speedup_vs_fcfs": report["speedup_vs_baseline"],
+        "total_cycles_by_group": {
+            group: entry["total_cycles"]["mean"]
+            for group, entry in sorted(report["groups"].items())
+        },
+        "walk_accesses_by_group": {
+            group: entry["walk_memory_accesses"]["mean"]
+            for group, entry in sorted(report["groups"].items())
+        },
+    }
+
+
+def measure_sms():
+    """Reservation vs SMS DRAM model under the paper's scheduler."""
+    cycles = {}
+    walk_reads = {}
+    for controller in SMS_CONTROLLERS:
+        config = SystemConfig().with_dram_controller(controller)
+        specs = sweep_specs(
+            SWEEP_WORKLOADS,
+            ("simt",),
+            SWEEP_SEEDS,
+            config=config,
+            scale=SWEEP_SCALE,
+            num_wavefronts=SWEEP_WAVEFRONTS,
+        )
+        results = run_many(specs)
+        for spec, result in zip(specs, results):
+            key = f"{spec['workload']}/{controller}"
+            cycles[key] = cycles.get(key, 0) + result.total_cycles
+            if controller == "sms":
+                walk_reads[spec["workload"]] = walk_reads.get(
+                    spec["workload"], 0
+                ) + result.detail["memory"]["dram"]["walk_reads"]
+    return {
+        "controllers": list(SMS_CONTROLLERS),
+        "scheduler": "simt",
+        "total_cycles_by_case": dict(sorted(cycles.items())),
+        "sms_walk_reads_by_workload": dict(sorted(walk_reads.items())),
+    }
+
+
+def measure_figures(report):
+    """The zoo comparison charts, built from the sweep's fleet report."""
+    data = CampaignData.from_reports([("zoo", report)])
+    figures, skipped = build_figures(data, names=ZOO_FIGURES)
+    for name in ZOO_FIGURES:
+        if name in skipped:
+            raise AssertionError(
+                f"zoo figure {name!r} skipped: {skipped[name]}"
+            )
+    return {
+        "figures": list(ZOO_FIGURES),
+        "rows_by_figure": {
+            figure.name: len(figure.rows) for figure in figures
+        },
+        "schedulers_plotted": data.schedulers(),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="accepted for symmetry; the sweep is already CI-sized",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parents[2] / "BENCH_zoo.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="record without asserting invariants",
+    )
+    args = parser.parse_args(argv)
+
+    fleet = _sweep_report()
+    report = {
+        "sweep": measure_sweep(fleet),
+        "sms": measure_sms(),
+        "figures": measure_figures(fleet),
+        "params": {"quick": args.quick},
+    }
+    document = write_bench_report("zoo", report, args.output)
+    print(json.dumps(document, indent=2))
+
+    if args.no_check:
+        return 0
+    failures = []
+    speedups = report["sweep"]["speedup_vs_fcfs"]
+    for family in ("wasp", "iru", "mosaic"):
+        if family not in speedups:
+            failures.append(f"zoo family {family!r} missing from the sweep")
+    if report["sweep"]["total_cycles_by_group"].keys() != (
+        report["sweep"]["walk_accesses_by_group"].keys()
+    ):
+        failures.append("cycle and walk-traffic groups disagree")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -897,14 +897,27 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="JSON machine description (possibly partial); see repro.config_io",
     )
+    parser.add_argument(
+        "--dram-controller",
+        default=None,
+        choices=("reservation", "fcfs", "frfcfs", "sms"),
+        help="DRAM front end (default: the config's, reservation); "
+        "'sms' is the staged batch-former/QoS policy",
+    )
 
 
 def _load_config(args: argparse.Namespace):
-    if getattr(args, "config", None) is None:
-        return None
-    from repro.config_io import load_config
+    config = None
+    if getattr(args, "config", None) is not None:
+        from repro.config_io import load_config
 
-    return load_config(args.config)
+        config = load_config(args.config)
+    controller = getattr(args, "dram_controller", None)
+    if controller is not None:
+        from repro.config import SystemConfig
+
+        config = (config or SystemConfig()).with_dram_controller(controller)
+    return config
 
 
 def build_parser() -> argparse.ArgumentParser:

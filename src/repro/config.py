@@ -235,9 +235,13 @@ class DRAMConfig:
     #: Data-transfer occupancy of a bank per access.
     t_burst: int = 8
     #: Front-end model: "reservation" (lightweight, per-bank FIFO) or a
-    #: queued controller with request scheduling ("fcfs" / "frfcfs" —
-    #: see :mod:`repro.memory.controller`).
+    #: queued controller with request scheduling ("fcfs" / "frfcfs" /
+    #: "sms" — see :mod:`repro.memory.controller`).
     controller: str = "reservation"
+    #: SMS-style batch former ("sms" controller only): consecutive
+    #: same-source requests a bank serves before re-arbitrating between
+    #: page-walk and data traffic.
+    sms_batch_cap: int = 4
 
     @property
     def total_banks(self) -> int:
@@ -304,6 +308,11 @@ class SystemConfig:
     def with_faults(self, plan: Optional["FaultPlan"]) -> "SystemConfig":
         """Return a copy running under fault-injection plan ``plan``."""
         return replace(self, faults=plan)
+
+    def with_dram_controller(self, controller: str) -> "SystemConfig":
+        """Return a copy using DRAM front end ``controller``
+        ("reservation", or a queued policy: "fcfs" / "frfcfs" / "sms")."""
+        return replace(self, dram=replace(self.dram, controller=controller))
 
 
 def baseline_config(scheduler: str = "fcfs") -> SystemConfig:

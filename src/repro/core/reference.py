@@ -117,6 +117,15 @@ class NaiveBatchScheduler(WalkScheduler):
     def note_dispatch(self, entry: WalkBufferEntry) -> None:
         self._last_instruction = entry.instruction_id
 
+    def resync(self, buffer: PendingWalkBuffer) -> None:
+        """Retire the batch pointer once its instruction has drained."""
+        if (
+            self._last_instruction is not None
+            and naive_oldest_for_instruction(buffer, self._last_instruction)
+            is None
+        ):
+            self._last_instruction = None
+
     def select(self, buffer: PendingWalkBuffer) -> Optional[WalkBufferEntry]:
         if buffer.is_empty:
             return None
@@ -145,6 +154,15 @@ class NaiveSIMTAwareScheduler(WalkScheduler):
 
     def note_dispatch(self, entry: WalkBufferEntry) -> None:
         self._last_instruction = entry.instruction_id
+
+    def resync(self, buffer: PendingWalkBuffer) -> None:
+        """Retire the batch pointer once its instruction has drained."""
+        if (
+            self._last_instruction is not None
+            and naive_oldest_for_instruction(buffer, self._last_instruction)
+            is None
+        ):
+            self._last_instruction = None
 
     def select(self, buffer: PendingWalkBuffer) -> Optional[WalkBufferEntry]:
         if buffer.is_empty:
@@ -180,6 +198,15 @@ class NaiveFairShareScheduler(WalkScheduler):
             + max(1, entry.estimated_accesses)
         )
 
+    def resync(self, buffer: PendingWalkBuffer) -> None:
+        """Retire the batch pointer once its instruction has drained."""
+        if (
+            self._last_instruction is not None
+            and naive_oldest_for_instruction(buffer, self._last_instruction)
+            is None
+        ):
+            self._last_instruction = None
+
     def select(self, buffer: PendingWalkBuffer) -> Optional[WalkBufferEntry]:
         if buffer.is_empty:
             return None
@@ -200,14 +227,58 @@ class NaiveFairShareScheduler(WalkScheduler):
         return choice
 
 
+class NaiveWaSPScheduler(NaiveSIMTAwareScheduler):
+    """Reference twin of :class:`repro.core.zoo.WaSPScheduler`.
+
+    Selection is the naive SIMT-aware scan; the walk-prefetch machinery
+    lives in the IOMMU and is driven purely by the ``prefetch_distance``
+    class attribute, which must match the optimized twin's.
+    """
+
+    name = "wasp-ref"
+    prefetch_distance = 4
+
+
+class NaiveIRUScheduler(NaiveSJFScheduler):
+    """Reference twin of :class:`repro.core.zoo.IRUScheduler`.
+
+    Selection is the naive SJF scan; the reorder/coalesce window lives
+    in the IOMMU and is driven by the class attributes below, which must
+    match the optimized twin's.
+    """
+
+    name = "iru-ref"
+    reorder_window_cycles = 8
+    coalesce_pending = True
+
+
+class NaiveMosaicScheduler(NaiveSIMTAwareScheduler):
+    """Reference twin of :class:`repro.core.zoo.MosaicScheduler`.
+
+    Selection is the naive SIMT-aware scan; the 2 MB promotion/demotion
+    machinery lives in the IOMMU and is driven by the class attributes
+    below, which must match the optimized twin's.
+    """
+
+    name = "mosaic-ref"
+    promote_threshold = 8
+    region_tlb_entries = 16
+
+
 #: Reference twin per registry name (policies whose select differs from
 #: the optimized implementation only in algorithmic complexity; fcfs and
-#: random were already index-free and have no twin).
+#: random were already index-free and have no twin).  The zoo twins also
+#: pin the IOMMU-side knobs (prefetch distance, reorder window, region
+#: TLB) to the optimized values so the differential runs exercise the
+#: full family, not just the select loop.
 REFERENCE_FACTORIES = {
     "sjf": NaiveSJFScheduler,
     "batch": NaiveBatchScheduler,
     "simt": NaiveSIMTAwareScheduler,
     "fairshare": NaiveFairShareScheduler,
+    "wasp": NaiveWaSPScheduler,
+    "iru": NaiveIRUScheduler,
+    "mosaic": NaiveMosaicScheduler,
 }
 
 

@@ -46,6 +46,28 @@ class WalkScheduler(ABC):
     #: ``IOMMUConfig.scan_latency_cycles``).  FIFO-style policies pop a
     #: queue head in hardware and pay nothing.
     requires_scan = True
+    #: WaSP-style walk-prefetch lookahead: after a demand walk for page
+    #: *p* completes, the IOMMU walk-prefetches pages ``p+1 ..
+    #: p+distance`` on otherwise-idle walkers.  0 disables; the legacy
+    #: ``IOMMUConfig.prefetch_next_page`` flag is the distance-1 case.
+    prefetch_distance = 0
+    #: IRU-style reorder window, in cycles.  Non-zero makes the IOMMU
+    #: stage arriving TLB misses for this long and admit each batch to
+    #: the pending buffer sorted by (instruction, page), so divergent
+    #: bursts arrive contiguous and same-page requests coalesce before
+    #: they occupy buffer slots.  0 disables staging.
+    reorder_window_cycles = 0
+    #: Whether same-page arrivals may merge with *pending* buffered
+    #: walks even under ``coalesce_walks="inflight"`` (the reorder
+    #: unit's job-shrinking merge; "full" already implies it).
+    coalesce_pending = False
+    #: Mosaic-style promotion: distinct base pages walked within one
+    #: 2 MB region before the region promotes into the IOMMU's region
+    #: TLB.  0 disables promotion.
+    promote_threshold = 0
+    #: Capacity of the region TLB holding promoted 2 MB entries (LRU;
+    #: a capacity eviction is a demotion).
+    region_tlb_entries = 0
 
     def on_arrival(self, entry: WalkBufferEntry, buffer: PendingWalkBuffer) -> None:
         """Hook for arrival-time bookkeeping.  Default: nothing."""
@@ -60,6 +82,18 @@ class WalkScheduler(ABC):
         The IOMMU dispatches an arriving request straight to an idle
         walker without consulting ``select``; schedulers that track the
         most-recently-scheduled instruction still need to see it.
+        """
+
+    def resync(self, buffer: PendingWalkBuffer) -> None:
+        """Drop policy state that refers to walks no longer in ``buffer``.
+
+        The IOMMU calls this after removing an entry from the pending
+        buffer.  Batching policies use it to retire their batch pointer
+        the moment the buffer holds no more walks from the batched
+        instruction (paper §IV: batching lasts exactly as long as the
+        instruction has pending walks) — otherwise the pointer survives
+        the batch and a much later walk carrying the same 20-bit
+        instruction tag would inherit batch priority it never earned.
         """
 
     def snapshot(self) -> dict:
@@ -158,6 +192,14 @@ class BatchScheduler(WalkScheduler):
         """Track the most recently dispatched instruction (batching)."""
         self._last_instruction = entry.instruction_id
 
+    def resync(self, buffer: PendingWalkBuffer) -> None:
+        """Retire the batch pointer once its instruction has drained."""
+        if (
+            self._last_instruction is not None
+            and buffer.oldest_for_instruction(self._last_instruction) is None
+        ):
+            self._last_instruction = None
+
     def select(self, buffer: PendingWalkBuffer) -> Optional[WalkBufferEntry]:
         """Choose the next pending walk under this policy."""
         if buffer.is_empty:
@@ -204,6 +246,14 @@ class SIMTAwareScheduler(WalkScheduler):
     def note_dispatch(self, entry: WalkBufferEntry) -> None:
         """Track the most recently dispatched instruction (batching)."""
         self._last_instruction = entry.instruction_id
+
+    def resync(self, buffer: PendingWalkBuffer) -> None:
+        """Retire the batch pointer once its instruction has drained."""
+        if (
+            self._last_instruction is not None
+            and buffer.oldest_for_instruction(self._last_instruction) is None
+        ):
+            self._last_instruction = None
 
     def select(self, buffer: PendingWalkBuffer) -> Optional[WalkBufferEntry]:
         """Choose the next pending walk under this policy."""
@@ -265,6 +315,14 @@ class FairShareScheduler(WalkScheduler):
             + max(1, entry.estimated_accesses)
         )
 
+    def resync(self, buffer: PendingWalkBuffer) -> None:
+        """Retire the batch pointer once its instruction has drained."""
+        if (
+            self._last_instruction is not None
+            and buffer.oldest_for_instruction(self._last_instruction) is None
+        ):
+            self._last_instruction = None
+
     def select(self, buffer: PendingWalkBuffer) -> Optional[WalkBufferEntry]:
         """Choose the next pending walk under this policy."""
         if buffer.is_empty:
@@ -312,8 +370,20 @@ _FACTORIES: Dict[str, Callable[..., WalkScheduler]] = {
 }
 
 
+def _ensure_zoo() -> None:
+    """Import the scheduler zoo so its factories self-register.
+
+    Lazy (call-time) on purpose: :mod:`repro.core.zoo` subclasses the
+    policies above, so a module-level import in either direction would
+    deadlock on a partially-initialised module.  After the first call
+    this is a ``sys.modules`` hit.
+    """
+    from repro.core import zoo  # noqa: F401  (import has the side effect)
+
+
 def available_schedulers() -> tuple:
     """Names of every registered scheduling policy."""
+    _ensure_zoo()
     return tuple(sorted(_FACTORIES))
 
 
@@ -321,9 +391,10 @@ def make_scheduler(name: str, **kwargs) -> WalkScheduler:
     """Instantiate a scheduler by registry name.
 
     ``kwargs`` may include ``seed`` (random) and ``aging_threshold``
-    (sjf / simt); irrelevant keys are ignored so one call site can serve
-    every policy.
+    (sjf / simt / the zoo families); irrelevant keys are ignored so one
+    call site can serve every policy.
     """
+    _ensure_zoo()
     try:
         factory = _FACTORIES[name]
     except KeyError:

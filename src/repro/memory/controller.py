@@ -14,6 +14,15 @@ policies:
     bank is free, prefer row-buffer *hits* (oldest first), falling back
     to the oldest request.
 
+``sms``
+    A staged batch-former/QoS split in the spirit of SMS
+    (Ausavarungnirun et al., ISCA 2012), simplified to this model's
+    read-only traffic: each bank serves up to ``sms_batch_cap``
+    consecutive requests from one *source* (page-walk vs data) before
+    re-arbitrating, and arbitration prefers a waiting page-walk batch —
+    walks are the latency-critical minority the GPU's data firehose
+    otherwise drowns out.  Within a batch, first-ready then oldest.
+
 The controller exposes a completion-target API (``read(address, done)``
 where ``done`` is a ``(kind, *payload)`` event tuple or a legacy
 callable), so it can stand in wherever the reservation-based model is
@@ -30,15 +39,20 @@ from repro.config import LINE_SIZE, DRAMConfig
 from repro.engine.simulator import Simulator
 from repro.obs.trace import PID_MEMORY
 
+#: Request sources the SMS batch former arbitrates between.
+SOURCE_DATA = 0
+SOURCE_WALK = 1
+
 
 class _Request:
     __slots__ = (
         "address", "bank", "row", "arrival_seq", "arrival_time",
-        "row_hit", "service_start", "on_complete",
+        "row_hit", "service_start", "on_complete", "source",
     )
 
     def __init__(
-        self, address, bank, row, arrival_seq, arrival_time, on_complete
+        self, address, bank, row, arrival_seq, arrival_time, on_complete,
+        source=SOURCE_DATA,
     ) -> None:
         self.address = address
         self.bank = bank
@@ -50,6 +64,8 @@ class _Request:
         #: ``service_start - arrival_time`` is the bank-queueing delay.
         self.service_start = -1
         self.on_complete = on_complete
+        #: SOURCE_DATA or SOURCE_WALK (the SMS QoS dimension).
+        self.source = source
 
 
 class _Bank:
@@ -63,7 +79,7 @@ class _Bank:
 class QueuedMemoryController:
     """Event-driven DRAM front end: queues, banks, a scheduling policy."""
 
-    POLICIES = ("fcfs", "frfcfs")
+    POLICIES = ("fcfs", "frfcfs", "sms")
 
     def __init__(
         self,
@@ -92,7 +108,11 @@ class QueuedMemoryController:
         #: its data returns — checkpointable in-flight state.
         self._in_service: Dict[int, _Request] = {}
         self._arrival_seq = 0
+        #: SMS batch former: bank index -> [source, remaining credits]
+        #: for the batch that bank is currently committed to.
+        self._sms_batch: Dict[int, List[int]] = {}
         self.reads = 0
+        self.walk_reads = 0
         self.row_hits = 0
         self.row_conflicts = 0
         self.peak_queue_depth = 0
@@ -115,14 +135,21 @@ class QueuedMemoryController:
     def queued_requests(self) -> int:
         return sum(len(q) for q in self._queues.values())
 
-    def read(self, address: int, on_complete: Any) -> None:
+    def read(
+        self, address: int, on_complete: Any, source: int = SOURCE_DATA
+    ) -> None:
         """Enqueue one read; the ``on_complete`` target fires when data
-        returns (an event tuple, or a callable for legacy callers)."""
+        returns (an event tuple, or a callable for legacy callers).
+        ``source`` tags the request for the SMS batch former (page-walk
+        reads pass :data:`SOURCE_WALK`); other policies ignore it."""
         bank, row = self._map(address)
         request = _Request(
-            address, bank, row, self._arrival_seq, self._sim.now, on_complete
+            address, bank, row, self._arrival_seq, self._sim.now,
+            on_complete, source,
         )
         self._arrival_seq += 1
+        if source == SOURCE_WALK:
+            self.walk_reads += 1
         self._queues.setdefault(bank, []).append(request)
         self.peak_queue_depth = max(self.peak_queue_depth, self.queued_requests)
         tracer = self.tracer
@@ -133,19 +160,51 @@ class QueuedMemoryController:
             )
         self._try_issue(bank)
 
-    def _select(self, queue: List[_Request], bank: _Bank) -> _Request:
+    def _select(
+        self, queue: List[_Request], bank: _Bank, bank_index: int
+    ) -> _Request:
         if self.policy == "frfcfs":
             for request in queue:  # oldest row-hit first
                 if request.row == bank.open_row:
                     return request
+        elif self.policy == "sms":
+            return self._select_sms(queue, bank, bank_index)
         return queue[0]  # fcfs fallback: the oldest
+
+    def _select_sms(
+        self, queue: List[_Request], bank: _Bank, bank_index: int
+    ) -> _Request:
+        """Stage 1: stick with the bank's formed batch while it has
+        credits and matching requests.  Stage 2: re-arbitrate, giving a
+        waiting page-walk batch priority over data.  Within either
+        stage, first-ready (open-row) wins, then the oldest."""
+        batch = self._sms_batch.get(bank_index)
+        if batch is not None and batch[1] > 0:
+            pool = [r for r in queue if r.source == batch[0]]
+            if pool:
+                batch[1] -= 1
+                return self._first_ready(pool, bank)
+        walks = [r for r in queue if r.source == SOURCE_WALK]
+        pool = walks or queue
+        choice = self._first_ready(pool, bank)
+        self._sms_batch[bank_index] = [
+            choice.source, self.config.sms_batch_cap - 1
+        ]
+        return choice
+
+    @staticmethod
+    def _first_ready(pool: List[_Request], bank: _Bank) -> _Request:
+        for request in pool:  # oldest row-hit first
+            if request.row == bank.open_row:
+                return request
+        return pool[0]
 
     def _try_issue(self, bank_index: int) -> None:
         bank = self._banks[bank_index]
         queue = self._queues.get(bank_index)
         if bank.busy or not queue:
             return
-        request = self._select(queue, bank)
+        request = self._select(queue, bank, bank_index)
         queue.remove(request)
         cfg = self.config
         if request.row == bank.open_row:
@@ -212,7 +271,7 @@ class QueuedMemoryController:
         return self.row_hits / self.reads if self.reads else 0.0
 
     def stats(self) -> Dict[str, float]:
-        return {
+        data = {
             "reads": self.reads,
             "row_hits": self.row_hits,
             "row_conflicts": self.row_conflicts,
@@ -220,6 +279,9 @@ class QueuedMemoryController:
             "peak_queue_depth": self.peak_queue_depth,
             "policy": self.policy,
         }
+        if self.policy == "sms":
+            data["walk_reads"] = self.walk_reads
+        return data
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -239,6 +301,10 @@ class QueuedMemoryController:
             },
             "in_service": dict(self._in_service),
             "arrival_seq": self._arrival_seq,
+            "sms_batch": {
+                bank: list(batch) for bank, batch in self._sms_batch.items()
+            },
+            "walk_reads": self.walk_reads,
             "reads": self.reads,
             "row_hits": self.row_hits,
             "row_conflicts": self.row_conflicts,
@@ -255,6 +321,11 @@ class QueuedMemoryController:
         }
         self._in_service = dict(state["in_service"])
         self._arrival_seq = state["arrival_seq"]
+        self._sms_batch = {
+            bank: list(batch)
+            for bank, batch in state.get("sms_batch", {}).items()
+        }
+        self.walk_reads = state.get("walk_reads", 0)
         self.reads = state["reads"]
         self.row_hits = state["row_hits"]
         self.row_conflicts = state["row_conflicts"]

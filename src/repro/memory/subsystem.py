@@ -13,7 +13,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.config import LINE_SIZE, SystemConfig
 from repro.engine.simulator import Simulator
 from repro.memory.cache import SetAssociativeCache
-from repro.memory.controller import QueuedMemoryController
+from repro.memory.controller import SOURCE_WALK, QueuedMemoryController
 from repro.memory.dram import DRAM
 
 
@@ -233,7 +233,11 @@ class MemorySubsystem:
             self._sim.at(done, on_complete)
         else:
             assert self.controller is not None
-            self.controller.read(physical_address, on_complete)
+            # Tagged so the SMS batch former can QoS-prioritise walk
+            # traffic; the other policies ignore the tag.
+            self.controller.read(
+                physical_address, on_complete, source=SOURCE_WALK
+            )
 
     # ------------------------------------------------------------------
     # Checkpointing

@@ -39,7 +39,10 @@ class PageGeometry:
 
     def __post_init__(self) -> None:
         if not 1 <= self.leaf_level < PAGE_TABLE_LEVELS:
-            raise ValueError("leaf level must be 1..3")
+            raise ValueError(
+                f"leaf level must be 1..{PAGE_TABLE_LEVELS - 1}, "
+                f"got {self.leaf_level}"
+            )
 
     @property
     def page_size(self) -> int:

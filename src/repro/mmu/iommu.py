@@ -24,7 +24,7 @@ scheduler's lookahead is exactly the buffer capacity (Fig 14 sweeps it).
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from time import perf_counter
 from typing import Any, Callable, Deque, Dict, List, Optional
 
@@ -99,6 +99,46 @@ class IOMMU:
         ]
         self._overflow: Deque[TranslationRequest] = deque()
         self._scan_in_progress = False
+
+        # --- Scheduler-zoo knobs, read off the policy instance ---------
+        # WaSP: distance-ahead walk prefetch.  The legacy
+        # ``prefetch_next_page`` flag is the distance-1 case, so the two
+        # mechanisms share one code path (and stay bit-identical).
+        self._prefetch_distance = max(
+            int(getattr(self.scheduler, "prefetch_distance", 0) or 0),
+            1 if config.prefetch_next_page else 0,
+        )
+        # IRU: arriving misses stage here for ``reorder_window_cycles``
+        # and are admitted to the pending buffer sorted by
+        # (instruction, page), coalescing against pending walks.
+        self._iru_window = int(
+            getattr(self.scheduler, "reorder_window_cycles", 0) or 0
+        )
+        self._iru_staging: List[TranslationRequest] = []
+        self._coalesce_pending = bool(
+            getattr(self.scheduler, "coalesce_pending", False)
+        )
+        # Mosaic: promote a 2 MB region into the region TLB once enough
+        # distinct base pages inside it have been walked.  Meaningless
+        # when the geometry already maps 2 MB units, so it disables.
+        self._region_shift = max(0, 21 - geometry.page_shift)
+        self._promote_threshold = (
+            int(getattr(self.scheduler, "promote_threshold", 0) or 0)
+            if self._region_shift
+            else 0
+        )
+        self._region_tlb_entries = (
+            int(getattr(self.scheduler, "region_tlb_entries", 0) or 0)
+            if self._promote_threshold
+            else 0
+        )
+        #: region -> distinct walked base-page VPNs (promotion candidates).
+        self._region_pages: Dict[int, set] = {}
+        #: Promoted regions, LRU-ordered (oldest first).
+        self._region_tlb: "OrderedDict[int, bool]" = OrderedDict()
+        self.region_hits = 0
+        self.promotions = 0
+        self.demotions = 0
         #: Walkers currently holding a walk — a conservative guard that
         #: lets :meth:`_idle_walker` answer "all busy" in O(1) instead
         #: of scanning the pool (the hot case under load).
@@ -137,6 +177,7 @@ class IOMMU:
         simulator.register("iommu.reply", self._reply)
         simulator.register("iommu.finish_scan", self._finish_scan)
         simulator.register("iommu.kick", self.resume_walkers)
+        simulator.register("iommu.iru_flush", self._iru_flush)
 
     # ------------------------------------------------------------------
     # Request entry point
@@ -158,7 +199,27 @@ class IOMMU:
                 self.config.tlb_hit_latency, "iommu.reply", request, pfn, 0
             )
             return
+        if self._region_tlb_entries and self._region_hit(request):
+            return
         self._handle_tlb_miss(request)
+
+    def _region_hit(self, request: TranslationRequest) -> bool:
+        """Mosaic region-TLB probe: a promoted 2 MB entry covers the page.
+
+        A hit bypasses the walk machinery entirely — the region's leaf
+        mapping resolves any base page inside it, so the reply costs one
+        TLB-hit latency and no walker.  Returns True when it hit.
+        """
+        region = request.vpn >> self._region_shift
+        if region not in self._region_tlb:
+            return False
+        self._region_tlb.move_to_end(region)
+        self.region_hits += 1
+        pfn = self._page_table.translate(request.vpn)
+        self._sim.post(
+            self.config.tlb_hit_latency, "iommu.reply", request, pfn, 0
+        )
+        return True
 
     def _handle_tlb_miss(self, request: TranslationRequest) -> None:
         if self.tracer is not None:
@@ -168,6 +229,31 @@ class IOMMU:
             )
         if self._try_coalesce(request):
             return
+        if self._iru_window:
+            # IRU: hold the miss in the reorder window; the flush event
+            # admits the whole batch sorted by (instruction, page).
+            self._iru_staging.append(request)
+            if len(self._iru_staging) == 1:
+                self._sim.post(self._iru_window, "iommu.iru_flush")
+            return
+        self._admit(request)
+
+    def _iru_flush(self) -> None:
+        """Admit the staged reorder-window batch (IRU policies only).
+
+        Sorting by (instruction, page) makes divergent bursts enter the
+        buffer contiguous per instruction, and the re-run coalescing
+        check merges same-page requests that arrived apart — the unit's
+        job-shrinking step, after which plain SJF does the scheduling.
+        """
+        staged, self._iru_staging = self._iru_staging, []
+        staged.sort(key=lambda r: (r.instruction_id, r.vpn))
+        for request in staged:
+            if self._try_coalesce(request):
+                continue
+            self._admit(request)
+
+    def _admit(self, request: TranslationRequest) -> None:
         # A new walk is needed.  An idle walker takes it immediately
         # (which implies the buffer is empty — walkers never idle while
         # work is buffered).
@@ -206,7 +292,10 @@ class IOMMU:
             walking[0].attach(request)
             self.coalesced_inflight += 1
             return True
-        if mode == "full":
+        if mode == "full" or self._coalesce_pending:
+            # "full" always merges with pending walks; IRU policies opt
+            # in even under "inflight" (their reorder unit's job is to
+            # shrink buffered jobs before the scheduler sees them).
             pending = self.buffer.find_by_vpn(request.vpn)
             if pending is not None:
                 self.buffer.attach(pending, request)
@@ -307,12 +396,40 @@ class IOMMU:
             self._schedule_next()
             return
         self.l1_tlb.insert(entry.vpn, pfn)
+        if self._promote_threshold:
+            self._note_region_walk(entry.vpn)
         for request in entry.requests:
             self._reply(request, pfn, walk_accesses=accesses)
         self._drain_overflow()
         self._schedule_next()
-        if self.config.prefetch_next_page:
-            self._maybe_prefetch(entry.vpn + 1)
+        # WaSP-style distance-ahead walk prefetch (distance 1 is the
+        # legacy ``prefetch_next_page`` behaviour).  Each step re-checks
+        # for an idle walker, so demand traffic still always wins.
+        for step in range(1, self._prefetch_distance + 1):
+            self._maybe_prefetch(entry.vpn + step)
+
+    def _note_region_walk(self, vpn: int) -> None:
+        """Mosaic promotion bookkeeping after a demand walk completes.
+
+        Counts distinct base pages walked per 2 MB region; a region
+        crossing the threshold is promoted into the region TLB, and an
+        LRU capacity eviction there is a demotion — so under contention
+        only the hottest regions stay mapped large.
+        """
+        region = vpn >> self._region_shift
+        if region in self._region_tlb:
+            self._region_tlb.move_to_end(region)
+            return
+        pages = self._region_pages.setdefault(region, set())
+        pages.add(vpn)
+        if len(pages) < self._promote_threshold:
+            return
+        del self._region_pages[region]
+        self._region_tlb[region] = True
+        self.promotions += 1
+        while len(self._region_tlb) > self._region_tlb_entries:
+            self._region_tlb.popitem(last=False)
+            self.demotions += 1
 
     def _drain_overflow(self) -> None:
         """Move overflowed requests into freed buffer slots (FIFO)."""
@@ -355,6 +472,7 @@ class IOMMU:
             if entry is None:
                 return
             self.buffer.remove(entry)
+            self.scheduler.resync(self.buffer)
             self._dispatch(walker, entry)
             self._drain_overflow()
 
@@ -381,6 +499,7 @@ class IOMMU:
         if entry is None:
             return
         self.buffer.remove(entry)
+        self.scheduler.resync(self.buffer)
         self._dispatch(walker, entry)
         self._drain_overflow()
         self._schedule_next()
@@ -392,7 +511,12 @@ class IOMMU:
         pending demand walk exists and a walker would otherwise idle.
         """
         walker = self._idle_walker()
-        if walker is None or not self.buffer.is_empty or self._overflow:
+        if (
+            walker is None
+            or not self.buffer.is_empty
+            or self._overflow
+            or self._iru_staging
+        ):
             return
         if vpn in self._walking or self.buffer.find_by_vpn(vpn) is not None:
             return
@@ -522,6 +646,15 @@ class IOMMU:
                 iid: list(seqs)
                 for iid, seqs in self.dispatches_by_instruction.items()
             },
+            "iru_staging": list(self._iru_staging),
+            "region_pages": {
+                region: sorted(pages)
+                for region, pages in self._region_pages.items()
+            },
+            "region_tlb": list(self._region_tlb),
+            "region_hits": self.region_hits,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
         }
 
     def restore(self, state: Dict[str, Any]) -> None:
@@ -557,6 +690,18 @@ class IOMMU:
             iid: list(seqs)
             for iid, seqs in state["dispatches_by_instruction"].items()
         }
+        # Zoo state: absent from pre-zoo checkpoints, so default empty.
+        self._iru_staging = list(state.get("iru_staging", ()))
+        self._region_pages = {
+            region: set(pages)
+            for region, pages in state.get("region_pages", {}).items()
+        }
+        self._region_tlb = OrderedDict(
+            (region, True) for region in state.get("region_tlb", ())
+        )
+        self.region_hits = state.get("region_hits", 0)
+        self.promotions = state.get("promotions", 0)
+        self.demotions = state.get("demotions", 0)
 
     # ------------------------------------------------------------------
     # Statistics
@@ -576,7 +721,7 @@ class IOMMU:
         return interleaved / eligible if eligible else 0.0
 
     def stats(self) -> Dict[str, object]:
-        return {
+        data = {
             "requests": self.requests,
             "tlb_hits": self.tlb_hits,
             "walks_dispatched": self.walks_dispatched,
@@ -600,3 +745,13 @@ class IOMMU:
                 else 0.0
             ),
         }
+        if self._region_tlb_entries:
+            # Gated so the stats dict (and every golden pinned to it)
+            # is unchanged for non-Mosaic policies.
+            data["mosaic"] = {
+                "region_hits": self.region_hits,
+                "promotions": self.promotions,
+                "demotions": self.demotions,
+                "region_tlb_occupancy": len(self._region_tlb),
+            }
+        return data

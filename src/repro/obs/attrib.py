@@ -208,13 +208,31 @@ def attribute_walks(
 ) -> AttributionResult:
     """Decompose every completed walk in ``events`` into stages.
 
-    Single forward pass over the (emit-ordered) event stream; fully
-    deterministic.  The reconciliation invariant — ``sum(stages) ==
-    end_to_end`` — holds for every returned walk by construction; walks
-    where the tiling left a residue or a negative stage keep
-    ``reconciled=False`` and count into ``reconciliation_failures``.
+    Single forward pass over the (emit-ordered) event stream after a
+    cheap counting pre-pass; fully deterministic.  The reconciliation
+    invariant — ``sum(stages) == end_to_end`` — holds for every returned
+    walk by construction; walks where the tiling left a residue or a
+    negative stage keep ``reconciled=False`` and count into
+    ``reconciliation_failures``.
+
+    The pre-pass counts ``queued`` (dispatch) events per (vpn, iid).
+    The main pass pairs them FIFO with ``walk_created`` records, so the
+    first N created records of each key are *reserved* for demand walks
+    and must never be resolved as coalesced children.  Without the
+    reservation, a buffered request's record could be claimed both by a
+    completing same-page host walk and, later, by its own dispatch —
+    double-counting the request and breaking the conservation law
+    ``created == demand + coalesced``.
     """
+    events = list(events)
     out = AttributionResult()
+    #: (vpn, iid) -> how many dispatches will consume a created record.
+    demand_slots: Dict[Tuple[int, int], int] = {}
+    for event in events:
+        if event.get("name") == "queued":
+            args = event.get("args", {})
+            key = (args["vpn"], args["instruction_id"])
+            demand_slots[key] = demand_slots.get(key, 0) + 1
     #: (vpn, iid) -> unconsumed walk_created records, oldest first.
     open_created: Dict[Tuple[int, int], Deque[dict]] = {}
     #: vpn -> created records for coalesce resolution (lazily cleaned).
@@ -240,6 +258,10 @@ def attribute_walks(
                 "taken": False,
             }
             key = (record["vpn"], record["instruction_id"])
+            remaining = demand_slots.get(key, 0)
+            record["reserved"] = remaining > 0
+            if remaining:
+                demand_slots[key] = remaining - 1
             open_created.setdefault(key, deque()).append(record)
             created_by_vpn.setdefault(record["vpn"], []).append(record)
         elif name == "queued":
@@ -388,6 +410,11 @@ def _resolve_coalesced(
     window_start = host.span_start
     for record in records:
         if record["taken"]:
+            continue
+        if record["reserved"]:
+            # A later dispatch will consume this record as a demand
+            # walk; claiming it here would count the request twice.
+            survivors.append(record)
             continue
         ts = record["ts"]
         if window_start <= ts <= host.completed:

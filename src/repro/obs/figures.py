@@ -783,6 +783,73 @@ def scheduler_comparison(data: CampaignData) -> Figure:
 
 
 @register_figure(
+    "zoo_walk_traffic",
+    "Walk traffic vs baseline, per scheduler family",
+    "Scheduler-zoo comparison chart: page-walk memory accesses per "
+    "workload normalised to the baseline scheduler.  The zoo families "
+    "move this in opposite directions — WaSP's distance-ahead prefetch "
+    "adds speculative walks, IRU's pending-buffer reordering merges "
+    "divergent same-page walks away, and Mosaic's region TLB bypasses "
+    "the walk machinery entirely — so traffic, not runtime, is where "
+    "the families are told apart.",
+)
+def zoo_walk_traffic(data: CampaignData) -> Figure:
+    data.require_columns(["walk_memory_accesses"], "zoo_walk_traffic")
+    means = data.mean_by("walk_memory_accesses", ("workload", "scheduler"))
+    rows: List[Dict[str, Any]] = []
+    for workload in data.workloads():
+        base = means.get((workload, data.baseline))
+        if not base:
+            continue
+        for scheduler in data.schedulers():
+            value = means.get((workload, scheduler))
+            if value is None:
+                continue
+            rows.append(
+                {
+                    "workload": workload,
+                    "scheduler": scheduler,
+                    "mean_walk_accesses": _round(value),
+                    "normalised_traffic": _round(value / base),
+                }
+            )
+    if not rows:
+        raise FigureSkipped(
+            "no workload has a baseline run to normalise walk traffic against"
+        )
+    schedulers = data.schedulers()
+    spec = base_spec("zoo_walk_traffic", "Zoo — walk traffic vs baseline")
+    spec["mark"] = {"type": "bar"}
+    spec["encoding"] = {
+        "color": scheduler_color(schedulers),
+        "x": {
+            "field": "workload",
+            "type": "nominal",
+            "sort": data.workloads(),
+            "title": "workload",
+        },
+        "xOffset": {"field": "scheduler", "sort": schedulers},
+        "y": {
+            "field": "normalised_traffic",
+            "type": "quantitative",
+            "title": f"walk accesses vs {data.baseline}",
+        },
+    }
+    definition = FIGURES["zoo_walk_traffic"]
+    return Figure(
+        name=definition.name,
+        title=definition.title,
+        description=definition.description,
+        columns=[
+            "workload", "scheduler", "mean_walk_accesses",
+            "normalised_traffic",
+        ],
+        rows=rows,
+        spec=spec,
+    )
+
+
+@register_figure(
     "latency_cdf",
     "Walk-latency CDF per scheduler",
     "Cumulative distribution of per-walk completion latency from the "

@@ -44,6 +44,7 @@ BENCH_FILES: Dict[str, str] = {
     "event_core": "BENCH_event_core.json",
     "figures": "BENCH_figures.json",
     "attrib": "BENCH_attrib.json",
+    "zoo": "BENCH_zoo.json",
 }
 
 #: The ``python -m repro bench-check`` exit-code contract, stable for
@@ -124,6 +125,19 @@ DEFAULT_METRICS: Tuple[MetricSpec, ...] = (
     MetricSpec("attrib", "measurement.attribution.walks_attributed", "exact"),
     MetricSpec("attrib", "measurement.analysis.events_per_cpu_sec",
                "higher", 0.50),
+    # Scheduler zoo: the whole bench is one deterministic sweep, so the
+    # per-group cycle and walk-traffic numbers are exact committed
+    # facts; the zoo families must also keep beating (or at worst
+    # matching) the fcfs baseline within a tight band, and the
+    # comparison charts must keep plotting every policy.
+    MetricSpec("zoo", "sweep.total_cycles_by_group", "exact"),
+    MetricSpec("zoo", "sweep.walk_accesses_by_group", "exact"),
+    MetricSpec("zoo", "sweep.speedup_vs_fcfs.wasp.geomean", "higher", 0.02),
+    MetricSpec("zoo", "sweep.speedup_vs_fcfs.iru.geomean", "higher", 0.02),
+    MetricSpec("zoo", "sweep.speedup_vs_fcfs.mosaic.geomean", "higher", 0.02),
+    MetricSpec("zoo", "sms.total_cycles_by_case", "exact"),
+    MetricSpec("zoo", "sms.sms_walk_reads_by_workload", "exact"),
+    MetricSpec("zoo", "figures.rows_by_figure", "exact"),
 )
 
 #: Row statuses, in decreasing severity.

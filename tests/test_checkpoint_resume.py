@@ -29,7 +29,12 @@ from repro.resilience.faults import FaultEvent, FaultPlan
 from repro.resilience.watchdog import WatchdogError
 from tests.conftest import tiny_config
 
-SCHEDULERS = ("fcfs", "random", "sjf", "batch", "simt", "fairshare")
+SCHEDULERS = (
+    "fcfs", "random", "sjf", "batch", "simt", "fairshare",
+    # The zoo: each carries extra IOMMU-side state (prefetch distance,
+    # reorder staging, region TLB) that must survive the round trip.
+    "wasp", "iru", "mosaic",
+)
 WORKLOAD = "XSB"
 WAVEFRONTS = 8
 SCALE = 0.05
@@ -209,6 +214,37 @@ def test_resume_with_tracing(tmp_path):
     _interrupt_at("simt", cycle, path, trace=trace)
     resumed = resume_simulation(str(path), max_cycles=MAX_CYCLES)
     assert _fingerprint(resumed) == want
+
+
+def test_resume_with_sms_controller(tmp_path):
+    # The SMS batch former holds per-bank (source, credits) state and
+    # source-tagged queued requests; both must survive the round trip.
+    config = tiny_config().with_dram_controller("sms")
+    want = _fingerprint(_run("simt", config=config))
+    cycle = want["total_cycles"] // 2
+    path = tmp_path / "crash.ckpt"
+    _interrupt_at("simt", cycle, path, config=config)
+    resumed = resume_simulation(str(path), max_cycles=MAX_CYCLES)
+    assert _fingerprint(resumed) == want
+
+
+def test_random_scheduler_rng_state_restored(tmp_path):
+    # The random policy's whole behaviour is its Mersenne Twister
+    # stream; a resume that reseeded instead of restoring rng.getstate()
+    # would diverge in the dispatch sequence, not just the stats.
+    # Interrupt at several points so at least one lands mid-stream.
+    want = baselines_result = _fingerprint(_run("random"))
+    for fraction in (0.25, 0.6):
+        cycle = max(1, int(want["total_cycles"] * fraction))
+        path = tmp_path / f"crash-{fraction}.ckpt"
+        _interrupt_at("random", cycle, path)
+        resumed = resume_simulation(str(path), max_cycles=MAX_CYCLES)
+        fingerprint = _fingerprint(resumed)
+        assert fingerprint == baselines_result
+        assert (
+            fingerprint["detail"]["iommu"]["walks_dispatched"]
+            == want["detail"]["iommu"]["walks_dispatched"]
+        )
 
 
 # ----------------------------------------------------------------------

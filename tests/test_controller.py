@@ -1,13 +1,17 @@
-"""Tests for the queued DRAM controller (FCFS / FR-FCFS)."""
+"""Tests for the queued DRAM controller (FCFS / FR-FCFS / SMS)."""
 
 import pytest
 
 from repro.config import DRAMConfig
 from repro.engine.simulator import Simulator
-from repro.memory.controller import QueuedMemoryController
+from repro.memory.controller import (
+    SOURCE_DATA,
+    SOURCE_WALK,
+    QueuedMemoryController,
+)
 
 
-def make_controller(policy="frfcfs", banks=2):
+def make_controller(policy="frfcfs", banks=2, sms_batch_cap=4):
     sim = Simulator()
     config = DRAMConfig(
         channels=1,
@@ -18,6 +22,7 @@ def make_controller(policy="frfcfs", banks=2):
         t_rcd=30,
         t_rp=30,
         t_burst=8,
+        sms_batch_cap=sms_batch_cap,
     )
     return sim, QueuedMemoryController(sim, config, policy=policy)
 
@@ -121,3 +126,80 @@ def test_stats_shape():
     stats = ctrl.stats()
     assert stats["reads"] == 1
     assert stats["policy"] == "frfcfs"
+
+
+# ----------------------------------------------------------------------
+# SMS: staged batch former with page-walk QoS
+# ----------------------------------------------------------------------
+
+
+def test_sms_prioritises_walk_batch_over_data():
+    # The first data read issues and commits the bank to a data batch
+    # (cap 4).  Once its credits run out, re-arbitration must form a
+    # walk batch ahead of the remaining data read, even though every
+    # data read arrived earlier.
+    sim, ctrl = make_controller(policy="sms")
+    order = []
+    rec = completion_recorder(sim, order)
+    ctrl.read(0, rec("data0"), source=SOURCE_DATA)  # issues immediately
+    for i in range(4):
+        ctrl.read(128 * (i + 1), rec(f"data{i + 1}"), source=SOURCE_DATA)
+    ctrl.read(128 * 5, rec("walk"), source=SOURCE_WALK)
+    sim.run()
+    tags = [tag for tag, _ in order]
+    assert tags == ["data0", "data1", "data2", "data3", "walk", "data4"]
+    assert ctrl.stats()["walk_reads"] == 1
+
+
+def test_sms_batch_cap_bounds_source_runs():
+    # Identical arrival stream, two caps.  Cap 2 exhausts the data
+    # batch after data1, so the walk preempts data2 at the batch
+    # boundary; cap 4 keeps the bank committed to data through data2.
+    def run(cap):
+        sim, ctrl = make_controller(policy="sms", sms_batch_cap=cap)
+        order = []
+        rec = completion_recorder(sim, order)
+        ctrl.read(0, rec("data0"), source=SOURCE_DATA)
+        ctrl.read(128, rec("data1"), source=SOURCE_DATA)
+        ctrl.read(256, rec("data2"), source=SOURCE_DATA)
+        ctrl.read(384, rec("walk"), source=SOURCE_WALK)
+        sim.run()
+        return [tag for tag, _ in order]
+
+    assert run(2) == ["data0", "data1", "walk", "data2"]
+    assert run(4) == ["data0", "data1", "data2", "walk"]
+
+
+def test_sms_sticks_with_batch_for_row_hits():
+    # Within a committed batch, first-ready ordering still applies.
+    sim, ctrl = make_controller(policy="sms")
+    order = []
+    rec = completion_recorder(sim, order)
+    far_row = 2048 * 2 * 4
+    ctrl.read(0, rec("open_row_first"), source=SOURCE_WALK)
+    ctrl.read(far_row, rec("conflict"), source=SOURCE_WALK)
+    ctrl.read(128, rec("row_hit"), source=SOURCE_WALK)
+    sim.run()
+    assert [tag for tag, _ in order] == [
+        "open_row_first", "row_hit", "conflict",
+    ]
+
+
+def test_sms_source_defaults_to_data():
+    sim, ctrl = make_controller(policy="sms")
+    ctrl.read(0, lambda: None)
+    sim.run()
+    assert ctrl.walk_reads == 0
+    assert ctrl.stats()["walk_reads"] == 0
+
+
+def test_sms_snapshot_restores_batch_state():
+    sim, ctrl = make_controller(policy="sms")
+    ctrl.read(0, lambda: None, source=SOURCE_WALK)
+    ctrl.read(128, lambda: None, source=SOURCE_WALK)
+    # Mid-flight: bank busy, batch committed to the walk source.
+    state = ctrl.snapshot()
+    sim2, ctrl2 = make_controller(policy="sms")
+    ctrl2.restore(state)
+    assert ctrl2._sms_batch == ctrl._sms_batch
+    assert ctrl2.walk_reads == ctrl.walk_reads

@@ -1,8 +1,10 @@
 """Unit tests for translation geometries (4 KB vs 2 MB pages)."""
 
+import random
+
 import pytest
 
-from repro.config import PWCConfig
+from repro.config import PAGE_TABLE_LEVELS, PWCConfig
 from repro.mmu.geometry import BASE_4K, LARGE_2M, PageGeometry, geometry_by_name
 from repro.mmu.page_table import PageTable
 from repro.mmu.pwc import PageWalkCache
@@ -31,6 +33,16 @@ class TestGeometryBasics:
         with pytest.raises(ValueError):
             PageGeometry(name="bad", page_shift=30, leaf_level=4)
 
+    @pytest.mark.parametrize("leaf_level", [0, PAGE_TABLE_LEVELS, 99])
+    def test_invalid_leaf_level_message_matches_check(self, leaf_level):
+        # The message must state the bound the check actually enforces
+        # (1 .. PAGE_TABLE_LEVELS-1) and echo the offending value.
+        with pytest.raises(ValueError) as excinfo:
+            PageGeometry(name="bad", page_shift=30, leaf_level=leaf_level)
+        message = str(excinfo.value)
+        assert f"1..{PAGE_TABLE_LEVELS - 1}" in message
+        assert str(leaf_level) in message
+
     def test_vpn_and_offset(self):
         address = 5 * (2 << 20) + 12345
         assert LARGE_2M.vpn(address) == 5
@@ -50,6 +62,45 @@ class TestGeometryBasics:
             LARGE_2M.level_index(0, 1)  # below the large-page leaf
         with pytest.raises(ValueError):
             BASE_4K.level_index(0, 5)
+
+
+class TestRoundTripProperty:
+    """vpn/offset must decompose any address losslessly:
+    ``vpn(a) * page_size + offset(a) == a`` with ``offset < page_size``."""
+
+    # The unit-boundary neighbourhoods where shift/mask bugs live, for a
+    # 2 MB unit: around 0, one unit, an odd multiple, and a 4 KB-page
+    # boundary *inside* a large unit (offset 0x1000 — must NOT reset).
+    BOUNDARIES = [
+        0, 1,
+        0x1000 - 1, 0x1000, 0x1000 + 1,
+        (1 << 21) - 1, 1 << 21, (1 << 21) + 1,
+        5 * (1 << 21) - 1, 5 * (1 << 21), 5 * (1 << 21) + 1,
+        (1 << 48) - 1,
+    ]
+
+    @pytest.mark.parametrize("geometry", [BASE_4K, LARGE_2M], ids=str)
+    @pytest.mark.parametrize("address", BOUNDARIES)
+    def test_boundary_round_trip(self, geometry, address):
+        vpn = geometry.vpn(address)
+        offset = geometry.offset(address)
+        assert 0 <= offset < geometry.page_size
+        assert vpn * geometry.page_size + offset == address
+        assert geometry.frame_base(vpn) + offset == address
+
+    @pytest.mark.parametrize("geometry", [BASE_4K, LARGE_2M], ids=str)
+    def test_random_round_trip(self, geometry):
+        rng = random.Random(2018)
+        for _ in range(2000):
+            address = rng.randrange(1 << 48)
+            vpn = geometry.vpn(address)
+            offset = geometry.offset(address)
+            assert 0 <= offset < geometry.page_size
+            assert vpn * geometry.page_size + offset == address
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            LARGE_2M.vpn(-1)
 
 
 class TestLargePagePageTable:

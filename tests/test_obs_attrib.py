@@ -107,6 +107,46 @@ def test_no_walk_lifecycle_left_open():
     assert result.incomplete == {}
 
 
+@pytest.mark.parametrize("mode", ["inflight", "full"])
+def test_coalesced_stat_conserves_against_attribution(mode):
+    """Audit of the IOMMU ``coalesced`` stat (buffer.total_coalesced +
+    coalesced_inflight): each merged request must be counted exactly
+    once.  The trace is an independent witness — every merge leaves an
+    orphan ``walk_created`` that attribution resolves to a
+    coalesced-origin walk, so the two counts must agree exactly; a
+    double count (e.g. an inflight merge recounted at completion) or a
+    dropped pending merge would break the equality."""
+    import dataclasses
+
+    config = tiny_config()
+    config = dataclasses.replace(
+        config, iommu=dataclasses.replace(config.iommu, coalesce_walks=mode)
+    )
+    result = run_simulation(
+        "XSB", config=config, trace=TRACE, **RUN_KWARGS
+    )
+    assert result.detail["trace"]["events_dropped"] == 0
+    attribution = attribute_walks(result.detail["trace"]["events"])
+    assert attribution.incomplete == {}
+    coalesced_walks = sum(
+        1 for walk in attribution.walks if walk.origin == "coalesced"
+    )
+    assert coalesced_walks > 0  # the audit needs actual merges
+    assert coalesced_walks == result.detail["iommu"]["coalesced"]
+    # Full conservation: every TLB-missing request either dispatched a
+    # walk (demand) or merged (coalesced) — never both, never neither.
+    created = sum(
+        1
+        for event in result.detail["trace"]["events"]
+        if event.get("name") == "walk_created"
+    )
+    demand_walks = sum(
+        1 for walk in attribution.walks if walk.origin == "demand"
+    )
+    assert demand_walks + coalesced_walks == created
+    assert demand_walks == result.detail["iommu"]["walks_dispatched"]
+
+
 # ----------------------------------------------------------------------
 # Synthetic event streams: exact stage arithmetic
 # ----------------------------------------------------------------------

@@ -31,6 +31,10 @@ class TestRegistry:
             "batch",
             "simt",
             "fairshare",
+            # The scheduler zoo (core/zoo.py) self-registers.
+            "wasp",
+            "iru",
+            "mosaic",
         }
 
     def test_make_scheduler_by_name(self):
